@@ -1,0 +1,164 @@
+//! Shared plumbing for the baseline miners: event supports (counted by
+//! database scan, not bitmaps), pattern matching against a sequence, and
+//! result assembly.
+
+use std::collections::HashMap;
+
+use ftpm_core::{FrequentPattern, MinerConfig, MiningResult, MiningStats, Pattern};
+use ftpm_events::{EventId, SequenceDatabase, TemporalRelation, TemporalSequence};
+
+/// Event supports counted with one horizontal scan of the database.
+pub(crate) fn event_supports(db: &SequenceDatabase) -> HashMap<EventId, usize> {
+    let mut supports: HashMap<EventId, usize> = HashMap::new();
+    for seq in db.sequences() {
+        for e in seq.distinct_events() {
+            *supports.entry(e).or_default() += 1;
+        }
+    }
+    supports
+}
+
+/// Confidence denominator: the largest support among the pattern's events
+/// (Def 3.16).
+pub(crate) fn max_event_support(
+    pattern: &Pattern,
+    supports: &HashMap<EventId, usize>,
+) -> usize {
+    pattern
+        .events()
+        .iter()
+        .map(|e| supports.get(e).copied().unwrap_or(0))
+        .max()
+        .expect("patterns have events")
+}
+
+/// Does `seq` support `pattern`? Backtracking search for a chronological
+/// instance binding satisfying every triple and the duration constraint —
+/// how IEMiner verifies candidates against the horizontal database.
+pub(crate) fn sequence_supports(
+    seq: &TemporalSequence,
+    pattern: &Pattern,
+    cfg: &MinerConfig,
+) -> bool {
+    let mut binding: Vec<usize> = Vec::with_capacity(pattern.len());
+    backtrack_from(seq.instances(), pattern, cfg, &mut binding, 0)
+}
+
+fn backtrack_from(
+    insts: &[ftpm_events::EventInstance],
+    pattern: &Pattern,
+    cfg: &MinerConfig,
+    binding: &mut Vec<usize>,
+    from: usize,
+) -> bool {
+    let pos = binding.len();
+    if pos == pattern.len() {
+        return true;
+    }
+    let want = pattern.events()[pos];
+    for i in from..insts.len() {
+        let x = &insts[i];
+        if x.event != want {
+            continue;
+        }
+        if let Some(&last) = binding.last() {
+            if x.chrono_key() <= insts[last].chrono_key() {
+                continue;
+            }
+        }
+        // Duration constraint: the whole occurrence fits in t_max.
+        if !binding.is_empty() {
+            let first_start = insts[binding[0]].interval.start;
+            let max_end = binding
+                .iter()
+                .map(|&b| insts[b].interval.end)
+                .max()
+                .expect("non-empty")
+                .max(x.interval.end);
+            if !cfg.relation.within_t_max(first_start, max_end) {
+                continue;
+            }
+        }
+        // All relations to already-bound instances must match.
+        let ok = binding.iter().enumerate().all(|(j, &b)| {
+            cfg.relation.relate(&insts[b].interval, &x.interval)
+                == Some(pattern.relation_between(j, pos))
+        });
+        if !ok {
+            continue;
+        }
+        binding.push(i);
+        if backtrack_from(insts, pattern, cfg, binding, i + 1) {
+            binding.pop();
+            return true;
+        }
+        binding.pop();
+    }
+    false
+}
+
+/// Final assembly: apply σ and δ, compute measures, sort, and wrap in a
+/// [`MiningResult`].
+pub(crate) fn assemble(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    supports: &HashMap<EventId, usize>,
+    counted: Vec<(Pattern, usize)>,
+) -> MiningResult {
+    let n = db.len();
+    let sigma_abs = cfg.absolute_support(n);
+    let mut patterns: Vec<FrequentPattern> = counted
+        .into_iter()
+        .filter(|(_, supp)| *supp >= sigma_abs)
+        .filter_map(|(pattern, supp)| {
+            let confidence = supp as f64 / max_event_support(&pattern, supports) as f64;
+            if confidence + 1e-9 < cfg.delta {
+                return None;
+            }
+            Some(FrequentPattern {
+                pattern,
+                support: supp,
+                rel_support: supp as f64 / n.max(1) as f64,
+                confidence,
+            })
+        })
+        .collect();
+    patterns.sort_by(|a, b| {
+        (a.pattern.len(), a.pattern.events(), a.pattern.relations()).cmp(&(
+            b.pattern.len(),
+            b.pattern.events(),
+            b.pattern.relations(),
+        ))
+    });
+    let frequent_events = {
+        let mut v: Vec<(EventId, usize)> = supports
+            .iter()
+            .filter(|(_, &s)| s >= sigma_abs)
+            .map(|(&e, &s)| (e, s))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    MiningResult {
+        patterns,
+        frequent_events,
+        graph: Default::default(),
+        stats: MiningStats::default(),
+    }
+}
+
+/// The ordered relation column appended when a chronologically last
+/// instance joins an existing binding; `None` if any pair has no relation.
+pub(crate) fn relation_column(
+    insts: &[ftpm_events::EventInstance],
+    binding: &[u32],
+    x: usize,
+    cfg: &MinerConfig,
+) -> Option<Vec<TemporalRelation>> {
+    let xi = &insts[x];
+    let mut rels = Vec::with_capacity(binding.len());
+    for &b in binding {
+        rels.push(cfg.relation.relate(&insts[b as usize].interval, &xi.interval)?);
+    }
+    Some(rels)
+}

@@ -1,0 +1,89 @@
+//! Every baseline must produce exactly the same pattern set, supports and
+//! confidences as E-HTPGM — the property that makes the paper's runtime
+//! comparison meaningful ("both E-HTPGM and the baselines provide the
+//! same exact solutions", Section VI-A3).
+
+use std::collections::HashMap;
+
+use ftpm_baselines::{mine_hdfs, mine_ieminer, mine_tpminer};
+use ftpm_core::{mine_exact, MinerConfig, MiningResult, Pattern};
+use ftpm_datagen::random_sequence_database;
+
+fn as_map(result: &MiningResult) -> HashMap<Pattern, (usize, f64)> {
+    result
+        .patterns
+        .iter()
+        .map(|p| (p.pattern.clone(), (p.support, p.confidence)))
+        .collect()
+}
+
+fn assert_equivalent(exact: &MiningResult, other: &MiningResult, who: &str) {
+    let me = as_map(exact);
+    let mo = as_map(other);
+    for (pat, (supp, conf)) in &me {
+        match mo.get(pat) {
+            None => panic!("{who}: missing pattern {pat:?}"),
+            Some((s, c)) => {
+                assert_eq!(supp, s, "{who}: support mismatch on {pat:?}");
+                assert!((conf - c).abs() < 1e-9, "{who}: confidence mismatch on {pat:?}");
+            }
+        }
+    }
+    assert_eq!(
+        me.len(),
+        mo.len(),
+        "{who}: found {} patterns, exact found {}",
+        mo.len(),
+        me.len()
+    );
+}
+
+#[test]
+fn baselines_match_exact_on_random_databases() {
+    for seed in 0..12u64 {
+        let db = random_sequence_database(seed, 6, 3, 2, 40);
+        for &(sigma, delta) in &[(0.3, 0.3), (0.5, 0.6)] {
+            let cfg = MinerConfig::new(sigma, delta).with_max_events(4);
+            let exact = mine_exact(&db, &cfg);
+            assert_equivalent(&exact, &mine_tpminer(&db, &cfg), "tpminer");
+            assert_equivalent(&exact, &mine_hdfs(&db, &cfg), "hdfs");
+            assert_equivalent(&exact, &mine_ieminer(&db, &cfg), "ieminer");
+        }
+    }
+}
+
+#[test]
+fn baselines_match_exact_on_structured_data() {
+    let data = ftpm_datagen::dataport_like(0.01);
+    let cfg = MinerConfig::new(0.4, 0.4).with_max_events(3);
+    let exact = mine_exact(&data.seq, &cfg);
+    assert!(!exact.is_empty(), "structured data should yield patterns");
+    assert_equivalent(&exact, &mine_tpminer(&data.seq, &cfg), "tpminer");
+    assert_equivalent(&exact, &mine_hdfs(&data.seq, &cfg), "hdfs");
+    assert_equivalent(&exact, &mine_ieminer(&data.seq, &cfg), "ieminer");
+}
+
+#[test]
+fn baselines_match_exact_with_buffered_relations() {
+    use ftpm_events::RelationConfig;
+    let relation = RelationConfig::new(2, 3, 30);
+    for seed in 50..56u64 {
+        let db = random_sequence_database(seed, 5, 3, 2, 40);
+        let cfg = MinerConfig::new(0.3, 0.3)
+            .with_relation(relation)
+            .with_max_events(3);
+        let exact = mine_exact(&db, &cfg);
+        assert_equivalent(&exact, &mine_tpminer(&db, &cfg), "tpminer");
+        assert_equivalent(&exact, &mine_hdfs(&db, &cfg), "hdfs");
+        assert_equivalent(&exact, &mine_ieminer(&db, &cfg), "ieminer");
+    }
+}
+
+#[test]
+fn empty_database_yields_no_patterns() {
+    let db = random_sequence_database(1, 0, 2, 2, 20);
+    let cfg = MinerConfig::new(0.5, 0.5).with_max_events(3);
+    assert!(mine_tpminer(&db, &cfg).is_empty());
+    assert!(mine_hdfs(&db, &cfg).is_empty());
+    assert!(mine_ieminer(&db, &cfg).is_empty());
+}

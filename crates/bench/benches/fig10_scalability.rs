@@ -1,0 +1,50 @@
+//! Criterion counterpart of Figs 10–13: how E-HTPGM and A-HTPGM scale
+//! with the number of sequences and attributes.
+//! `cargo bench -p ftpm-bench --bench fig10_scalability`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftpm_core::{mine_approximate_with_density, mine_exact, MinerConfig};
+use ftpm_datagen::nist_like;
+
+fn bench_scalability(c: &mut Criterion) {
+    let data = nist_like(0.012);
+    let cfg = MinerConfig::new(0.5, 0.5).with_max_events(3);
+
+    let mut group = c.benchmark_group("fig10_sequences");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for pct in [25usize, 50, 100] {
+        let sub = data.take_sequences(data.seq.len() * pct / 100);
+        group.throughput(Throughput::Elements(sub.seq.len() as u64));
+        group.bench_with_input(BenchmarkId::new("E-HTPGM", pct), &sub, |b, sub| {
+            b.iter(|| mine_exact(&sub.seq, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("A-HTPGM-60", pct), &sub, |b, sub| {
+            b.iter(|| mine_approximate_with_density(&sub.syb, &sub.seq, 0.6, &cfg))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig12_attributes");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for pct in [25usize, 50, 100] {
+        let sub = data.project_variables(data.syb.n_variables() * pct / 100);
+        group.bench_with_input(BenchmarkId::new("E-HTPGM", pct), &sub, |b, sub| {
+            b.iter(|| mine_exact(&sub.seq, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("A-HTPGM-60", pct), &sub, |b, sub| {
+            b.iter(|| mine_approximate_with_density(&sub.syb, &sub.seq, 0.6, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion counterpart of Figs 6/7: the E-HTPGM pruning ablation.
+//! `cargo bench -p ftpm-bench --bench fig6_ablation`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftpm_core::{mine_exact, MinerConfig, PruningConfig};
+use ftpm_datagen::nist_like;
+
+fn bench_ablation(c: &mut Criterion) {
+    let data = nist_like(0.008);
+    let variants = [
+        ("NoPrune", PruningConfig::NO_PRUNE),
+        ("Apriori", PruningConfig::APRIORI),
+        ("Trans", PruningConfig::TRANSITIVITY),
+        ("All", PruningConfig::ALL),
+    ];
+    let mut group = c.benchmark_group("fig6");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for (label, pruning) in variants {
+        let cfg = MinerConfig::new(0.4, 0.4)
+            .with_max_events(3)
+            .with_pruning(pruning);
+        group.bench_with_input(BenchmarkId::new(label, &data.name), &data, |b, data| {
+            b.iter(|| mine_exact(&data.seq, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

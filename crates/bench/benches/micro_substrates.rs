@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the substrates HTPGM's speed rests on: bitmap
+//! AND/popcount (support counting), relation determination, NMI
+//! computation, and the D_SYB → D_SEQ conversion.
+//! `cargo bench -p ftpm-bench --bench micro_substrates`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftpm_events::{to_sequence_database, RelationConfig, SplitConfig};
+use ftpm_mi::normalized_mutual_information;
+
+fn bench_bitmap(c: &mut Criterion) {
+    use ftpm_bitmap::Bitmap;
+    let a = Bitmap::from_indices(4096, (0..4096).filter(|i| i % 3 == 0));
+    let b = Bitmap::from_indices(4096, (0..4096).filter(|i| i % 7 == 0));
+    c.bench_function("bitmap_and_count_4096", |bench| {
+        bench.iter(|| {
+            let j = a.and(&b);
+            std::hint::black_box(j.count_ones())
+        })
+    });
+}
+
+fn bench_relation(c: &mut Criterion) {
+    use ftpm_events::Interval;
+    let cfg = RelationConfig::default();
+    let pairs: Vec<(Interval, Interval)> = (0..512)
+        .map(|i| {
+            let s = (i * 7) % 100;
+            (
+                Interval::new(s, s + 10 + i % 13),
+                Interval::new(s + i % 11, s + i % 11 + 9),
+            )
+        })
+        .map(|(a, b)| {
+            if (a.start, a.end) <= (b.start, b.end) {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect();
+    c.bench_function("relate_512_pairs", |bench| {
+        bench.iter(|| {
+            pairs
+                .iter()
+                .filter_map(|(a, b)| cfg.relate(a, b))
+                .count()
+        })
+    });
+}
+
+fn bench_nmi(c: &mut Criterion) {
+    let data = ftpm_datagen::nist_like(0.01);
+    let x = data.syb.series(ftpm_timeseries::VariableId(0)).clone();
+    let y = data.syb.series(ftpm_timeseries::VariableId(1)).clone();
+    c.bench_function("nmi_pair", |bench| {
+        bench.iter(|| std::hint::black_box(normalized_mutual_information(&x, &y)))
+    });
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let data = ftpm_datagen::nist_like(0.01);
+    c.bench_function("syb_to_seq_conversion", |bench| {
+        bench.iter_batched(
+            || data.syb.clone(),
+            |syb| to_sequence_database(&syb, SplitConfig::new(360, 0)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_bitmap(c);
+    bench_relation(c);
+    bench_nmi(c);
+    bench_conversion(c);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = all
+}
+criterion_main!(benches);

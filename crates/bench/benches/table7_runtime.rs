@@ -1,0 +1,41 @@
+//! Criterion counterpart of Table VII: runtime of every miner on
+//! NIST-like and SmartCity-like data at a representative threshold
+//! setting. `cargo bench -p ftpm-bench --bench table7_runtime`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftpm_bench::Method;
+use ftpm_core::MinerConfig;
+use ftpm_datagen::{nist_like, smartcity_like};
+
+fn bench_miners(c: &mut Criterion) {
+    // Small but structured inputs so the whole suite stays in CI budget.
+    let datasets = [nist_like(0.008), smartcity_like(0.008)];
+    let cfg = MinerConfig::new(0.5, 0.5).with_max_events(3);
+
+    let mut group = c.benchmark_group("table7");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for data in &datasets {
+        for method in [
+            Method::HDfs,
+            Method::IEMiner,
+            Method::TPMiner,
+            Method::EHtpgm,
+            Method::AHtpgm(0.6),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), &data.name),
+                data,
+                |b, data| b.iter(|| method.run(data, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig 7 (pruning ablation, Smart City). Args: `[scale] [max_events]`.
+fn main() {
+    let opts = ftpm_bench::Opts::from_args(0.02, 3);
+    ftpm_bench::experiments::fig67(&opts, true);
+}

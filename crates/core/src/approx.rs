@@ -1,0 +1,183 @@
+//! A-HTPGM: approximate mining using mutual information
+//! (paper Section V, Algorithm 2).
+//!
+//! The approximate miner first builds the correlation graph `G_C` of the
+//! symbolic database: an edge connects two series iff their normalized
+//! mutual information is at least `μ` in both directions (Def 5.5). Only
+//! series inside the correlated set `X_C` produce single events at L1,
+//! and only event pairs whose series are connected in `G_C` are verified
+//! at L2. Theorem 1 guarantees that every frequent event pair from
+//! correlated series has confidence at least `LB(σ, σ_m, n_x, μ)` in
+//! `D_SEQ`, so what A-HTPGM prunes is exactly the low-confidence tail
+//! (empirically: Fig 8).
+
+use ftpm_events::SequenceDatabase;
+use ftpm_mi::CorrelationGraph;
+use ftpm_timeseries::{SymbolicDatabase, VariableId};
+
+use crate::config::MinerConfig;
+use crate::exact::{mine_internal, CorrelationFilter};
+use crate::result::MiningResult;
+
+/// Output of an approximate mining run: the mining result plus the
+/// correlation structures, so callers can inspect what was pruned.
+#[derive(Debug)]
+pub struct ApproxOutcome {
+    /// The frequent temporal patterns found on the correlated subset.
+    pub result: MiningResult,
+    /// The MI threshold actually used.
+    pub mu: f64,
+    /// The correlation graph (Def 5.5).
+    pub graph: CorrelationGraph,
+    /// The correlated set `X_C` — variables with at least one edge.
+    pub correlated: Vec<VariableId>,
+}
+
+/// Mines `seq_db` approximately with an explicit MI threshold `μ`
+/// (Alg. 2). `syb` must be the symbolic database `seq_db` was converted
+/// from — A-HTPGM computes NMI on `D_SYB`, not on `D_SEQ`.
+///
+/// The result is always a subset of [`crate::mine_exact`]'s patterns; the
+/// accuracy/runtime trade-off is controlled by `μ` (Table IX, Fig 9).
+pub fn mine_approximate(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+    mu: f64,
+    cfg: &MinerConfig,
+) -> ApproxOutcome {
+    mine_with_graph(syb, seq_db, CorrelationGraph::build(syb, mu), cfg)
+}
+
+fn mine_with_graph(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+    graph: CorrelationGraph,
+    cfg: &MinerConfig,
+) -> ApproxOutcome {
+    let mu = graph.mu();
+    let correlated = graph.correlated_variables();
+    let in_xc: Vec<bool> = {
+        let mut v = vec![false; syb.n_variables()];
+        for var in &correlated {
+            v[var.0 as usize] = true;
+        }
+        v
+    };
+
+    let registry = seq_db.registry();
+    let allowed: Vec<bool> = registry
+        .ids()
+        .map(|e| in_xc[registry.variable(e).0 as usize])
+        .collect();
+    let result = {
+        let filter = CorrelationFilter {
+            allowed,
+            edge: Box::new(|ei, ej| {
+                graph.has_edge(registry.variable(ei), registry.variable(ej))
+            }),
+        };
+        mine_internal(seq_db, cfg, Some(&filter))
+    };
+    ApproxOutcome {
+        result,
+        mu,
+        graph,
+        correlated,
+    }
+}
+
+/// Mines approximately with `μ` chosen so the correlation graph keeps the
+/// given fraction of the complete graph's edges (Def 5.6) — how the paper
+/// parameterizes A-HTPGM in the evaluation ("A-HTPGM (80%)" keeps 80% of
+/// edges).
+pub fn mine_approximate_with_density(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+    density: f64,
+    cfg: &MinerConfig,
+) -> ApproxOutcome {
+    mine_with_graph(
+        syb,
+        seq_db,
+        CorrelationGraph::build_with_density(syb, density),
+        cfg,
+    )
+}
+
+/// Builds a symbolic database of per-event indicator series: one binary
+/// series per distinct event of `seq_db`, with `On` at every step where
+/// the event's variable carries the event's symbol.
+///
+/// This lifts the correlation analysis from variables to events, enabling
+/// [`mine_approximate_event_level`]. In the returned database, variable
+/// `i` corresponds to `EventId(i)` of `seq_db`'s registry.
+pub fn event_indicator_database(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+) -> SymbolicDatabase {
+    use ftpm_timeseries::{Alphabet, SymbolId, SymbolicSeries};
+    let registry = seq_db.registry();
+    let mut indicators = SymbolicDatabase::new(syb.start(), syb.step(), syb.n_steps());
+    for event in registry.ids() {
+        let var = registry.variable(event);
+        let sym = registry.symbol(event);
+        let series = syb.series(var);
+        let symbols: Vec<SymbolId> = series
+            .symbols()
+            .iter()
+            .map(|&s| SymbolId(u16::from(s == sym)))
+            .collect();
+        indicators.push(SymbolicSeries::new(
+            registry.label(event),
+            Alphabet::on_off(),
+            symbols,
+        ));
+    }
+    indicators
+}
+
+/// Event-level A-HTPGM — the extension the paper names as future work
+/// (Section VII: "extend HTPGM to perform pruning at the event level").
+///
+/// Instead of one correlation-graph vertex per *series*, this builds one
+/// vertex per *event* (via [`event_indicator_database`]) and requires an
+/// edge between the two events of every L2 candidate pair. Finer-grained
+/// than variable-level pruning: a variable pair can be correlated through
+/// one symbol (say, both `Off`) while another symbol pair of the same
+/// variables is independent — event-level pruning can drop the latter
+/// without dropping the former.
+///
+/// Like variable-level A-HTPGM, the result is always a subset of
+/// [`crate::mine_exact`].
+pub fn mine_approximate_event_level(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+    mu: f64,
+    cfg: &MinerConfig,
+) -> ApproxOutcome {
+    let indicators = event_indicator_database(syb, seq_db);
+    let graph = CorrelationGraph::build(&indicators, mu);
+    let correlated = graph.correlated_variables();
+    let allowed: Vec<bool> = {
+        let mut v = vec![false; seq_db.registry().len()];
+        for var in &correlated {
+            v[var.0 as usize] = true;
+        }
+        v
+    };
+    let result = {
+        let filter = CorrelationFilter {
+            allowed,
+            edge: Box::new(|ei, ej| {
+                graph.has_edge(VariableId(ei.0), VariableId(ej.0))
+            }),
+        };
+        mine_internal(seq_db, cfg, Some(&filter))
+    };
+    ApproxOutcome {
+        result,
+        mu,
+        graph,
+        correlated,
+    }
+}

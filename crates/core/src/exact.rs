@@ -1,0 +1,589 @@
+//! E-HTPGM: exact Hierarchical Temporal Pattern Graph Mining
+//! (paper Section IV, Algorithm 1).
+//!
+//! Mining proceeds level by level. L1 finds frequent single events with
+//! one bitmap scan. L2 verifies event pairs: the Apriori filter (Lemmas
+//! 2–3) discards pairs whose joint-bitmap support/confidence already
+//! misses the thresholds, and the survivors have their instance pairs
+//! checked against the relation model. Level `k ≥ 3` grows each
+//! pattern-bearing node of level `k−1` by one event that is
+//! chronologically last, using the transitivity property (Lemmas 4–7):
+//! only single events that appear at level `k−1` are candidates, a node
+//! extension is skipped outright when some node event has no frequent
+//! relation at all with the new event (Lemma 5), and an individual
+//! occurrence extension dies as soon as one of its new triples is not a
+//! frequent, high-confidence 2-event pattern (Lemmas 6–7).
+//!
+//! Performance notes: frequent 2-event relations are kept as a dense
+//! `events × events` bitmask table (no hashing on the hot path), and the
+//! relation column of a candidate extension is packed into a `u64` (2
+//! bits per relation) that doubles as the grouping key — both are part of
+//! the "efficient data structures" story the paper tells about HTPGM.
+
+use std::collections::HashMap;
+
+use ftpm_bitmap::Bitmap;
+use ftpm_events::{EventId, SequenceDatabase, TemporalRelation};
+
+use crate::config::MinerConfig;
+use crate::hpg::{HierarchicalPatternGraph, Level, Node};
+use crate::index::DatabaseIndex;
+use crate::pattern::Pattern;
+use crate::result::{FrequentPattern, MiningResult, MiningStats};
+
+/// Tolerance for `conf >= delta` comparisons, so that thresholds like 0.7
+/// accept patterns whose confidence is exactly 0.7 up to floating noise.
+const CONF_EPS: f64 = 1e-9;
+
+/// Patterns longer than this cannot pack their relation column into the
+/// u64 grouping key; in practice level-wise mining never gets anywhere
+/// near it.
+pub(crate) const MAX_EVENTS_HARD_CAP: usize = 32;
+
+/// Restricts mining to correlated series — how A-HTPGM plugs into the
+/// exact miner (Alg. 2 lines 7–11).
+pub(crate) struct CorrelationFilter<'a> {
+    /// `allowed[event]` — the event's series is in the correlated set X_C.
+    pub allowed: Vec<bool>,
+    /// Edge test between the series of two events.
+    pub edge: Box<dyn Fn(EventId, EventId) -> bool + 'a>,
+}
+
+/// Mines all frequent temporal patterns of `db` — `E-HTPGM`.
+///
+/// Returns every pattern `P` with `supp(P) ≥ ⌈σ·|D_SEQ|⌉` and
+/// `conf(P) ≥ δ`, plus the frequent single events and run statistics.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub fn mine_exact(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+    mine_internal(db, cfg, None)
+}
+
+/// Occurrence accumulator: supporting-sequence bitmap + bound tuples.
+type OccAccum = (Bitmap, Vec<(u32, Vec<u32>)>);
+
+/// Working data of one frequent pattern during mining: its occurrence
+/// bindings are needed to grow the next level, then dropped.
+pub(crate) struct WorkPattern {
+    pub(crate) pattern: Pattern,
+    pub(crate) support: usize,
+    pub(crate) confidence: f64,
+    /// `(sequence, instance indices)` — each tuple lists the bound
+    /// instances in chronological order.
+    pub(crate) occurrences: Vec<(u32, Vec<u32>)>,
+}
+
+/// Working node: event combination + joint bitmap + patterns.
+pub(crate) struct WorkNode {
+    pub(crate) events: Vec<EventId>,
+    pub(crate) bitmap: Bitmap,
+    pub(crate) support: usize,
+    pub(crate) patterns: Vec<WorkPattern>,
+}
+
+/// Dense `events × events` table of frequent 2-event relations: 3 bits
+/// per ordered pair, bit `r` set iff `(E_i, r, E_j)` is a frequent,
+/// high-confidence 2-event pattern.
+pub(crate) struct PairRelations {
+    masks: Vec<u8>,
+    n_events: usize,
+}
+
+impl PairRelations {
+    pub(crate) fn new(n_events: usize) -> Self {
+        PairRelations {
+            masks: vec![0; n_events * n_events],
+            n_events,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, ei: EventId, r: TemporalRelation, ej: EventId) {
+        self.masks[ei.0 as usize * self.n_events + ej.0 as usize] |= 1 << r.index();
+    }
+
+    #[inline]
+    fn contains(&self, ei: EventId, r: TemporalRelation, ej: EventId) -> bool {
+        self.masks[ei.0 as usize * self.n_events + ej.0 as usize] & (1 << r.index()) != 0
+    }
+
+    /// True iff `ei` forms at least one frequent relation with `ek` —
+    /// the per-node Lemma 5 test.
+    #[inline]
+    fn any(&self, ei: EventId, ek: EventId) -> bool {
+        self.masks[ei.0 as usize * self.n_events + ek.0 as usize] != 0
+    }
+}
+
+/// Packs a relation column into 2 bits per entry (values 1..=3 so the
+/// packing is injective for a fixed length).
+#[inline]
+fn push_relation(code: u64, r: TemporalRelation) -> u64 {
+    (code << 2) | (r.index() as u64 + 1)
+}
+
+/// Reverses [`push_relation`] for a column of `len` relations.
+fn decode_column(mut code: u64, len: usize) -> Vec<TemporalRelation> {
+    let mut rels = vec![TemporalRelation::Follow; len];
+    for slot in rels.iter_mut().rev() {
+        *slot = TemporalRelation::ALL[(code & 3) as usize - 1];
+        code >>= 2;
+    }
+    rels
+}
+
+pub(crate) fn mine_internal(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    corr: Option<&CorrelationFilter<'_>>,
+) -> MiningResult {
+    let n_seqs = db.len();
+    let sigma_abs = cfg.absolute_support(n_seqs);
+    let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
+    let index = DatabaseIndex::build(db);
+    let mut stats = MiningStats::default();
+
+    // ---- L1: frequent single events (Alg. 1 lines 1–4) ----
+    let freq_events: Vec<EventId> = db
+        .registry()
+        .ids()
+        .filter(|&e| corr.is_none_or(|c| c.allowed[e.0 as usize]))
+        .filter(|&e| index.support(e) >= sigma_abs)
+        .collect();
+
+    let mut patterns: Vec<FrequentPattern> = Vec::new();
+    let mut graph = HierarchicalPatternGraph::default();
+
+    // ---- L2: frequent 2-event patterns (Alg. 1 lines 5–14) ----
+    let mut pair_relations = PairRelations::new(db.registry().len());
+    let mut level_nodes: Vec<WorkNode> = Vec::new();
+    let mut verified = 0usize;
+
+    for &ei in &freq_events {
+        for &ej in &freq_events {
+            if let Some(c) = corr {
+                if !(c.edge)(ei, ej) {
+                    continue;
+                }
+            }
+            let joint = index.bitmap(ei).and(index.bitmap(ej));
+            let joint_supp = joint.count_ones();
+            let max_supp = index.support(ei).max(index.support(ej));
+            if cfg.pruning.apriori {
+                // Lemma 2: supp(P) <= supp(Ei, Ej).
+                if joint_supp < sigma_abs {
+                    stats.apriori_pruned += 1;
+                    continue;
+                }
+                // Lemma 3: conf(P) <= conf(Ei, Ej).
+                if (joint_supp as f64 / max_supp as f64) + CONF_EPS < cfg.delta {
+                    stats.apriori_pruned += 1;
+                    continue;
+                }
+            } else if joint_supp == 0 {
+                continue; // nothing to scan either way
+            }
+            verified += 1;
+            let node = verify_pair(db, &index, cfg, &mut stats, ei, ej, &joint, max_supp, sigma_abs);
+            if let Some(node) = node {
+                for p in &node.patterns {
+                    pair_relations.insert(ei, p.pattern.relations()[0], ej);
+                }
+                level_nodes.push(node);
+            }
+        }
+    }
+    stats.nodes_verified.push(verified);
+    stats.nodes_kept.push(level_nodes.len());
+    stats
+        .patterns_found
+        .push(level_nodes.iter().map(|n| n.patterns.len()).sum());
+
+    // ---- Lk (k >= 3): grow nodes (Alg. 1 lines 15–20) ----
+    // Each L2 node is grown to exhaustion depth-first. The level-wise
+    // semantics (k-event patterns derived from (k-1)-event patterns and
+    // the L1/L2 structures) are unchanged, but a node's occurrence
+    // bindings are released as soon as its subtree is done — this is
+    // what keeps HTPGM's memory footprint below the list-materializing
+    // baselines (Table VIII).
+    let mut grow = GrowContext {
+        db,
+        cfg,
+        index: &index,
+        pair_relations: &pair_relations,
+        freq_events: &freq_events,
+        sigma_abs,
+        max_events,
+        stats: &mut stats,
+        graph: &mut graph,
+        patterns: &mut patterns,
+        n_seqs,
+    };
+    for node in level_nodes {
+        grow.grow_node(node, 3);
+    }
+
+    MiningResult {
+        patterns,
+        frequent_events: freq_events
+            .iter()
+            .map(|&e| (e, index.support(e)))
+            .collect(),
+        graph,
+        stats,
+    }
+}
+
+/// Step 2.2: verify the instance pairs of one candidate event pair and
+/// collect its frequent relations.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn verify_pair(
+    db: &SequenceDatabase,
+    index: &DatabaseIndex,
+    cfg: &MinerConfig,
+    stats: &mut MiningStats,
+    ei: EventId,
+    ej: EventId,
+    joint: &Bitmap,
+    max_supp: usize,
+    sigma_abs: usize,
+) -> Option<WorkNode> {
+    let n_seqs = db.len();
+    // One accumulator per relation type.
+    let mut bitmaps = [
+        Bitmap::new(n_seqs),
+        Bitmap::new(n_seqs),
+        Bitmap::new(n_seqs),
+    ];
+    let mut occs: [Vec<(u32, Vec<u32>)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+
+    for seq_id in joint.iter_ones() {
+        let seq = &db.sequences()[seq_id];
+        for &ii in index.instances_in(seq_id, ei) {
+            let inst_i = &seq.instances()[ii as usize];
+            for &jj in index.instances_in(seq_id, ej) {
+                let inst_j = &seq.instances()[jj as usize];
+                // The node (Ei, Ej) binds Ei to the chronologically first
+                // instance; the opposite order belongs to node (Ej, Ei).
+                if inst_i.chrono_key() >= inst_j.chrono_key() {
+                    continue;
+                }
+                stats.instance_checks += 1;
+                // Maximal-duration constraint (Section III-C). We use the
+                // monotone reading — the whole occurrence must fit inside
+                // a t_max window — so that every prefix of a valid
+                // occurrence is itself valid and level-wise growth stays
+                // complete (see DESIGN.md).
+                let max_end = inst_i.interval.end.max(inst_j.interval.end);
+                if !cfg.relation.within_t_max(inst_i.interval.start, max_end) {
+                    continue;
+                }
+                if let Some(r) = cfg.relation.relate(&inst_i.interval, &inst_j.interval) {
+                    bitmaps[r.index()].set(seq_id);
+                    occs[r.index()].push((seq_id as u32, vec![ii, jj]));
+                }
+            }
+        }
+    }
+
+    let mut node_patterns = Vec::new();
+    for r in TemporalRelation::ALL {
+        let support = bitmaps[r.index()].count_ones();
+        if support < sigma_abs {
+            continue;
+        }
+        let confidence = support as f64 / max_supp as f64;
+        if confidence + CONF_EPS < cfg.delta {
+            continue;
+        }
+        node_patterns.push(WorkPattern {
+            pattern: Pattern::pair(ei, r, ej),
+            support,
+            confidence,
+            occurrences: std::mem::take(&mut occs[r.index()]),
+        });
+    }
+    if node_patterns.is_empty() {
+        return None; // a "brown" node: frequent pair, no frequent pattern.
+    }
+    Some(WorkNode {
+        events: vec![ei, ej],
+        support: joint.count_ones(),
+        bitmap: joint.clone(),
+        patterns: node_patterns,
+    })
+}
+
+/// Step 3.2: extend each frequent pattern of `node` with one instance of
+/// `ek` that is chronologically last, verifying the new triples
+/// iteratively (and pruning through L2 when transitivity pruning is on).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn extend_node(
+    db: &SequenceDatabase,
+    index: &DatabaseIndex,
+    cfg: &MinerConfig,
+    stats: &mut MiningStats,
+    node: &WorkNode,
+    ek: EventId,
+    joint: &Bitmap,
+    joint_supp: usize,
+    max_supp: usize,
+    sigma_abs: usize,
+    pair_relations: &PairRelations,
+) -> Option<WorkNode> {
+    let n_seqs = db.len();
+    let mut new_patterns: Vec<WorkPattern> = Vec::new();
+
+    for parent in &node.patterns {
+        // Group candidate extensions by their packed relation column
+        // (r(E_1,E_k), …, r(E_{k-1},E_k)).
+        let mut accum: HashMap<u64, OccAccum> = HashMap::new();
+        for (seq_id, tuple) in &parent.occurrences {
+            if !joint.get(*seq_id as usize) {
+                continue;
+            }
+            let seq = &db.sequences()[*seq_id as usize];
+            let last_key = seq.instances()[*tuple.last().expect("non-empty") as usize]
+                .chrono_key();
+            let first_start = seq.instances()[tuple[0] as usize].interval.start;
+            let tuple_max_end = tuple
+                .iter()
+                .map(|&ti| seq.instances()[ti as usize].interval.end)
+                .max()
+                .expect("non-empty");
+            for &xi in index.instances_in(*seq_id as usize, ek) {
+                let x = &seq.instances()[xi as usize];
+                // The new instance must be chronologically last so each
+                // occurrence is enumerated exactly once (Lemma 4 adds the
+                // new instance at the end of the sequence order).
+                if x.chrono_key() <= last_key {
+                    continue;
+                }
+                stats.instance_checks += 1;
+                let max_end = tuple_max_end.max(x.interval.end);
+                if !cfg.relation.within_t_max(first_start, max_end) {
+                    continue;
+                }
+                let mut code = 0u64;
+                let mut ok = true;
+                for (pos, &ti) in tuple.iter().enumerate() {
+                    let inst = &seq.instances()[ti as usize];
+                    match cfg.relation.relate(&inst.interval, &x.interval) {
+                        Some(r) => {
+                            // Lemmas 4–7: the triple (E_pos, r, E_k) must
+                            // itself be a frequent, confident 2-event
+                            // pattern, or this extension cannot yield one.
+                            if cfg.pruning.transitivity
+                                && !pair_relations.contains(node.events[pos], r, ek)
+                            {
+                                stats.transitivity_pruned += 1;
+                                ok = false;
+                                break;
+                            }
+                            code = push_relation(code, r);
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let entry = accum
+                    .entry(code)
+                    .or_insert_with(|| (Bitmap::new(n_seqs), Vec::new()));
+                entry.0.set(*seq_id as usize);
+                let mut new_tuple = Vec::with_capacity(tuple.len() + 1);
+                new_tuple.extend_from_slice(tuple);
+                new_tuple.push(xi);
+                entry.1.push((*seq_id, new_tuple));
+            }
+        }
+        for (code, (bitmap, occurrences)) in accum {
+            let support = bitmap.count_ones();
+            if support < sigma_abs {
+                continue;
+            }
+            let confidence = support as f64 / max_supp as f64;
+            if confidence + CONF_EPS < cfg.delta {
+                continue;
+            }
+            let rels = decode_column(code, node.events.len());
+            new_patterns.push(WorkPattern {
+                pattern: parent.pattern.extend(ek, &rels),
+                support,
+                confidence,
+                occurrences,
+            });
+        }
+    }
+
+    if new_patterns.is_empty() {
+        return None;
+    }
+    let mut events = Vec::with_capacity(node.events.len() + 1);
+    events.extend_from_slice(&node.events);
+    events.push(ek);
+    Some(WorkNode {
+        events,
+        bitmap: joint.clone(),
+        support: joint_supp,
+        patterns: new_patterns,
+    })
+}
+
+/// Depth-first growth of the Hierarchical Pattern Graph below L2.
+pub(crate) struct GrowContext<'a> {
+    pub(crate) db: &'a SequenceDatabase,
+    pub(crate) cfg: &'a MinerConfig,
+    pub(crate) index: &'a DatabaseIndex,
+    pub(crate) pair_relations: &'a PairRelations,
+    pub(crate) freq_events: &'a [EventId],
+    pub(crate) sigma_abs: usize,
+    pub(crate) max_events: usize,
+    pub(crate) stats: &'a mut MiningStats,
+    pub(crate) graph: &'a mut HierarchicalPatternGraph,
+    pub(crate) patterns: &'a mut Vec<FrequentPattern>,
+    pub(crate) n_seqs: usize,
+}
+
+impl GrowContext<'_> {
+    /// Archives `node` (level `k − 1` in event count) and tries every
+    /// candidate last event for level `k`. The node's occurrence
+    /// bindings die when this frame returns.
+    pub(crate) fn grow_node(&mut self, node: WorkNode, k: usize) {
+        if k > self.max_events {
+            archive_node(self.graph, self.patterns, self.n_seqs, node, k - 1);
+            return;
+        }
+        while self.stats.nodes_verified.len() < k - 1 {
+            self.stats.nodes_verified.push(0);
+            self.stats.nodes_kept.push(0);
+            self.stats.patterns_found.push(0);
+        }
+        let mut children: Vec<WorkNode> = Vec::new();
+        'candidates: for &ek in self.freq_events {
+            if self.cfg.pruning.transitivity {
+                // Per-node Lemma 5: every node event must form at least
+                // one frequent relation with ek, or no k-event pattern
+                // over this combination can be frequent.
+                for &e in &node.events {
+                    if !self.pair_relations.any(e, ek) {
+                        self.stats.transitivity_pruned += 1;
+                        continue 'candidates;
+                    }
+                }
+            }
+            let joint = node.bitmap.and(self.index.bitmap(ek));
+            let joint_supp = joint.count_ones();
+            let max_supp = node
+                .events
+                .iter()
+                .map(|&e| self.index.support(e))
+                .max()
+                .expect("nodes have events")
+                .max(self.index.support(ek));
+            if self.cfg.pruning.apriori {
+                if joint_supp < self.sigma_abs {
+                    self.stats.apriori_pruned += 1;
+                    continue;
+                }
+                if (joint_supp as f64 / max_supp as f64) + CONF_EPS < self.cfg.delta {
+                    self.stats.apriori_pruned += 1;
+                    continue;
+                }
+            } else if joint_supp == 0 {
+                continue;
+            }
+            self.stats.nodes_verified[k - 2] += 1;
+            if let Some(child) = extend_node(
+                self.db,
+                self.index,
+                self.cfg,
+                self.stats,
+                &node,
+                ek,
+                &joint,
+                joint_supp,
+                max_supp,
+                self.sigma_abs,
+                self.pair_relations,
+            ) {
+                self.stats.nodes_kept[k - 2] += 1;
+                self.stats.patterns_found[k - 2] += child.patterns.len();
+                children.push(child);
+            }
+        }
+        // The parent's occurrences are no longer needed once all its
+        // children have been generated.
+        archive_node(self.graph, self.patterns, self.n_seqs, node, k - 1);
+        for child in children {
+            self.grow_node(child, k + 1);
+        }
+    }
+}
+
+/// Moves a finished node into the result, dropping occurrence bindings.
+/// `k` is the node's event count; its level slot is `k - 2`.
+fn archive_node(
+    graph: &mut HierarchicalPatternGraph,
+    patterns: &mut Vec<FrequentPattern>,
+    n_seqs: usize,
+    node: WorkNode,
+    k: usize,
+) {
+    while graph.levels.len() < k - 1 {
+        graph.levels.push(Level::default());
+    }
+    let mut pattern_indices = Vec::with_capacity(node.patterns.len());
+    for wp in node.patterns {
+        pattern_indices.push(patterns.len());
+        patterns.push(FrequentPattern {
+            pattern: wp.pattern,
+            support: wp.support,
+            rel_support: wp.support as f64 / n_seqs.max(1) as f64,
+            confidence: wp.confidence,
+        });
+    }
+    graph.levels[k - 2].nodes.push(Node {
+        events: node.events,
+        support: node.support,
+        pattern_indices,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_column_roundtrip() {
+        use TemporalRelation::*;
+        for column in [
+            vec![Follow],
+            vec![Contain, Overlap],
+            vec![Follow, Follow, Contain, Overlap, Follow],
+            vec![Overlap; 31],
+        ] {
+            let mut code = 0u64;
+            for &r in &column {
+                code = push_relation(code, r);
+            }
+            assert_eq!(decode_column(code, column.len()), column);
+        }
+    }
+
+    #[test]
+    fn pair_relations_dense_table() {
+        let mut t = PairRelations::new(4);
+        t.insert(EventId(1), TemporalRelation::Contain, EventId(3));
+        assert!(t.contains(EventId(1), TemporalRelation::Contain, EventId(3)));
+        assert!(!t.contains(EventId(1), TemporalRelation::Follow, EventId(3)));
+        assert!(!t.contains(EventId(3), TemporalRelation::Contain, EventId(1)));
+        assert!(t.any(EventId(1), EventId(3)));
+        assert!(!t.any(EventId(0), EventId(3)));
+    }
+}

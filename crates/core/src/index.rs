@@ -1,0 +1,105 @@
+use ftpm_bitmap::Bitmap;
+use ftpm_events::{EventId, SequenceDatabase};
+
+/// Precomputed per-event access structures over a [`SequenceDatabase`]:
+/// the single-event bitmaps of HTPGM's L1 (built with one scan of
+/// `D_SEQ`, Section IV-C) and, per sequence, the instance indices of each
+/// event (the "list of event instances" stored in HPG nodes).
+#[derive(Debug)]
+pub struct DatabaseIndex {
+    /// `bitmaps[event]` — sequences containing at least one instance.
+    bitmaps: Vec<Bitmap>,
+    /// `instances[seq][event]` — indices into the sequence's instance
+    /// vector, chronologically ascending.
+    instances: Vec<Vec<Vec<u32>>>,
+    /// `supports[event]` — cached popcount of `bitmaps[event]`.
+    supports: Vec<usize>,
+}
+
+impl DatabaseIndex {
+    /// Builds the index with a single pass over the database.
+    pub fn build(db: &SequenceDatabase) -> Self {
+        let n_events = db.registry().len();
+        let n_seqs = db.len();
+        let mut bitmaps = vec![Bitmap::new(n_seqs); n_events];
+        let mut instances = vec![vec![Vec::new(); n_events]; n_seqs];
+        for (si, seq) in db.sequences().iter().enumerate() {
+            for (ii, inst) in seq.instances().iter().enumerate() {
+                let e = inst.event.0 as usize;
+                bitmaps[e].set(si);
+                instances[si][e].push(ii as u32);
+            }
+        }
+        let supports = bitmaps.iter().map(Bitmap::count_ones).collect();
+        DatabaseIndex {
+            bitmaps,
+            instances,
+            supports,
+        }
+    }
+
+    /// The occurrence bitmap of an event.
+    pub fn bitmap(&self, event: EventId) -> &Bitmap {
+        &self.bitmaps[event.0 as usize]
+    }
+
+    /// `supp(E)` — number of sequences containing the event (Def 3.13).
+    pub fn support(&self, event: EventId) -> usize {
+        self.supports[event.0 as usize]
+    }
+
+    /// Instance indices of `event` within sequence `seq`, ascending.
+    pub fn instances_in(&self, seq: usize, event: EventId) -> &[u32] {
+        &self.instances[seq][event.0 as usize]
+    }
+
+    /// Number of distinct events indexed.
+    pub fn n_events(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Number of sequences indexed.
+    pub fn n_sequences(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpm_events::{EventInstance, EventRegistry, TemporalSequence};
+    use ftpm_timeseries::{SymbolId, VariableId};
+
+    fn tiny_db() -> SequenceDatabase {
+        let mut reg = EventRegistry::new();
+        let a = reg.intern(VariableId(0), SymbolId(1), || "A".into());
+        let b = reg.intern(VariableId(1), SymbolId(1), || "B".into());
+        let s0 = TemporalSequence::new(vec![
+            EventInstance::new(a, 0, 5),
+            EventInstance::new(b, 5, 9),
+            EventInstance::new(a, 10, 12),
+        ]);
+        let s1 = TemporalSequence::new(vec![EventInstance::new(b, 1, 2)]);
+        SequenceDatabase::new(reg, vec![s0, s1])
+    }
+
+    #[test]
+    fn bitmaps_and_supports() {
+        let db = tiny_db();
+        let idx = DatabaseIndex::build(&db);
+        assert_eq!(idx.n_events(), 2);
+        assert_eq!(idx.support(EventId(0)), 1); // A only in seq 0
+        assert_eq!(idx.support(EventId(1)), 2); // B in both
+        assert!(idx.bitmap(EventId(0)).get(0));
+        assert!(!idx.bitmap(EventId(0)).get(1));
+    }
+
+    #[test]
+    fn instance_lists_are_chronological() {
+        let db = tiny_db();
+        let idx = DatabaseIndex::build(&db);
+        assert_eq!(idx.instances_in(0, EventId(0)), &[0, 2]);
+        assert_eq!(idx.instances_in(0, EventId(1)), &[1]);
+        assert_eq!(idx.instances_in(1, EventId(0)), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,61 @@
+//! HTPGM — Hierarchical Temporal Pattern Graph Mining.
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`MinerConfig`] / [`PruningConfig`] — thresholds `σ`, `δ`, the
+//!   relation model, and the pruning ablation switches of Section VI-C2;
+//! * [`Pattern`] — temporal patterns (Def 3.11): `k` events plus a
+//!   relation for every event pair;
+//! * [`mine_exact`] (E-HTPGM, Section IV, Alg. 1) — level-wise mining on
+//!   the Hierarchical Pattern Graph with bitmap support counting,
+//!   Apriori pruning (Lemmas 2–3) and transitivity pruning (Lemmas 4–7);
+//! * [`mine_approximate`] (A-HTPGM, Section V, Alg. 2) — prunes
+//!   uncorrelated time series via the mutual-information correlation
+//!   graph before running HTPGM;
+//! * [`mine_reference`] — a brute-force miner used as a correctness
+//!   oracle in tests and to study the patterns A-HTPGM prunes (Fig 8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftpm_timeseries::{SymbolicDatabase, TimeSeries, ThresholdSymbolizer};
+//! use ftpm_events::{to_sequence_database, SplitConfig};
+//! use ftpm_core::{mine_exact, MinerConfig};
+//!
+//! // Two appliances sampled every 5 ticks.
+//! let kitchen = TimeSeries::new("K", 0, 5, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+//! let toaster = TimeSeries::new("T", 0, 5, vec![0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+//! let mut syb = SymbolicDatabase::new(0, 5, 8);
+//! let symbolizer = ThresholdSymbolizer::new(0.5);
+//! syb.add_time_series(&kitchen, &symbolizer);
+//! syb.add_time_series(&toaster, &symbolizer);
+//!
+//! let seq_db = to_sequence_database(&syb, SplitConfig::new(20, 0));
+//! let result = mine_exact(&seq_db, &MinerConfig::new(0.5, 0.5));
+//! assert!(!result.patterns.is_empty());
+//! ```
+
+mod approx;
+mod config;
+mod exact;
+mod hpg;
+mod index;
+mod parallel;
+mod pattern;
+mod postprocess;
+mod reference;
+mod result;
+
+pub use approx::{
+    event_indicator_database, mine_approximate, mine_approximate_event_level,
+    mine_approximate_with_density, ApproxOutcome,
+};
+pub use config::{MinerConfig, PruningConfig};
+pub use exact::mine_exact;
+pub use parallel::mine_exact_parallel;
+pub use postprocess::{closed_patterns, maximal_patterns, pattern_lift, top_k_by_lift};
+pub use hpg::{HierarchicalPatternGraph, Level, Node};
+pub use index::DatabaseIndex;
+pub use pattern::Pattern;
+pub use reference::mine_reference;
+pub use result::{FrequentPattern, MiningResult, MiningStats};

@@ -1,0 +1,237 @@
+//! Multi-threaded E-HTPGM.
+//!
+//! HTPGM parallelizes naturally along the Hierarchical Pattern Graph:
+//! L2 candidate pairs are independent of each other, and from L3 onward
+//! every L2 node's subtree grows independently of its siblings (the only
+//! cross-node structure, the frequent-relation table of Lemmas 4–7, is
+//! complete once L2 is done and read-only afterwards). This module
+//! shards both phases over `std::thread::scope` workers and merges the
+//! results. Output is bit-identical to [`crate::mine_exact`] up to
+//! pattern order (asserted by the equivalence tests); run statistics are
+//! summed across workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ftpm_events::{EventId, SequenceDatabase};
+
+use crate::config::MinerConfig;
+use crate::exact::{
+    extend_node, verify_pair, GrowContext, PairRelations, WorkNode, MAX_EVENTS_HARD_CAP,
+};
+use crate::hpg::HierarchicalPatternGraph;
+use crate::index::DatabaseIndex;
+use crate::result::{FrequentPattern, MiningResult, MiningStats};
+
+/// Mines exactly like [`crate::mine_exact`], distributing the work over
+/// `n_threads` OS threads. Patterns are reported level-ordered per worker
+/// shard; the set, supports and confidences are identical to the
+/// single-threaded miner.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn mine_exact_parallel(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    n_threads: usize,
+) -> MiningResult {
+    assert!(n_threads > 0, "need at least one thread");
+    if n_threads == 1 {
+        return crate::mine_exact(db, cfg);
+    }
+    let n_seqs = db.len();
+    let sigma_abs = cfg.absolute_support(n_seqs);
+    let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
+    let index = DatabaseIndex::build(db);
+
+    // ---- L1 ----
+    let freq_events: Vec<EventId> = db
+        .registry()
+        .ids()
+        .filter(|&e| index.support(e) >= sigma_abs)
+        .collect();
+
+    // ---- L2, sharded over candidate pairs ----
+    let pairs: Vec<(EventId, EventId)> = freq_events
+        .iter()
+        .flat_map(|&ei| freq_events.iter().map(move |&ej| (ei, ej)))
+        .collect();
+    let next_pair = AtomicUsize::new(0);
+    let mut shard_outputs: Vec<(Vec<WorkNode>, MiningStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let pairs = &pairs;
+                let next_pair = &next_pair;
+                let index = &index;
+                scope.spawn(move || {
+                    let mut nodes = Vec::new();
+                    let mut stats = MiningStats::default();
+                    stats.nodes_verified.push(0);
+                    loop {
+                        // Batched work stealing keeps shards balanced even
+                        // when a few pairs dominate the cost.
+                        let at = next_pair.fetch_add(16, Ordering::Relaxed);
+                        if at >= pairs.len() {
+                            break;
+                        }
+                        for &(ei, ej) in &pairs[at..(at + 16).min(pairs.len())] {
+                            let joint = index.bitmap(ei).and(index.bitmap(ej));
+                            let joint_supp = joint.count_ones();
+                            let max_supp = index.support(ei).max(index.support(ej));
+                            if cfg.pruning.apriori {
+                                if joint_supp < sigma_abs {
+                                    stats.apriori_pruned += 1;
+                                    continue;
+                                }
+                                if (joint_supp as f64 / max_supp as f64) + 1e-9 < cfg.delta {
+                                    stats.apriori_pruned += 1;
+                                    continue;
+                                }
+                            } else if joint_supp == 0 {
+                                continue;
+                            }
+                            stats.nodes_verified[0] += 1;
+                            if let Some(node) = verify_pair(
+                                db, index, cfg, &mut stats, ei, ej, &joint, max_supp, sigma_abs,
+                            ) {
+                                nodes.push(node);
+                            }
+                        }
+                    }
+                    (nodes, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    let mut stats = MiningStats::default();
+    stats.nodes_verified.push(0);
+    stats.nodes_kept.push(0);
+    stats.patterns_found.push(0);
+    let mut level2: Vec<WorkNode> = Vec::new();
+    for (nodes, shard_stats) in shard_outputs.drain(..) {
+        merge_stats(&mut stats, shard_stats);
+        level2.extend(nodes);
+    }
+    // Canonical order so the output is deterministic across runs.
+    level2.sort_by(|a, b| a.events.cmp(&b.events));
+    stats.nodes_kept[0] = level2.len();
+    stats.patterns_found[0] = level2.iter().map(|n| n.patterns.len()).sum();
+
+    let mut pair_relations = PairRelations::new(db.registry().len());
+    for node in &level2 {
+        for p in &node.patterns {
+            pair_relations.insert(node.events[0], p.pattern.relations()[0], node.events[1]);
+        }
+    }
+
+    // ---- L3+: shard L2 nodes across workers, each growing its subtree
+    // with the shared read-only L2 relation table. ----
+    let node_queue: Vec<WorkNode> = level2;
+    let next_node = AtomicUsize::new(0);
+    let queue_refs: Vec<std::sync::Mutex<Option<WorkNode>>> = node_queue
+        .into_iter()
+        .map(|n| std::sync::Mutex::new(Some(n)))
+        .collect();
+    type ShardOut = (HierarchicalPatternGraph, Vec<FrequentPattern>, MiningStats);
+    let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let next_node = &next_node;
+                let queue_refs = &queue_refs;
+                let index = &index;
+                let pair_relations = &pair_relations;
+                let freq_events = &freq_events;
+                scope.spawn(move || {
+                    let mut graph = HierarchicalPatternGraph::default();
+                    let mut patterns = Vec::new();
+                    let mut shard_stats = MiningStats::default();
+                    loop {
+                        let at = next_node.fetch_add(1, Ordering::Relaxed);
+                        if at >= queue_refs.len() {
+                            break;
+                        }
+                        let node = queue_refs[at]
+                            .lock()
+                            .expect("unpoisoned")
+                            .take()
+                            .expect("each node taken once");
+                        let mut grow = GrowContext {
+                            db,
+                            cfg,
+                            index,
+                            pair_relations,
+                            freq_events,
+                            sigma_abs,
+                            max_events,
+                            stats: &mut shard_stats,
+                            graph: &mut graph,
+                            patterns: &mut patterns,
+                            n_seqs,
+                        };
+                        grow.grow_node(node, 3);
+                    }
+                    (graph, patterns, shard_stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    // ---- Merge worker shards ----
+    let mut graph = HierarchicalPatternGraph::default();
+    let mut patterns: Vec<FrequentPattern> = Vec::new();
+    for (shard_graph, shard_patterns, shard_stats) in shard_results {
+        let offset = patterns.len();
+        for (li, level) in shard_graph.levels.into_iter().enumerate() {
+            while graph.levels.len() <= li {
+                graph.levels.push(Default::default());
+            }
+            for mut node in level.nodes {
+                for idx in &mut node.pattern_indices {
+                    *idx += offset;
+                }
+                graph.levels[li].nodes.push(node);
+            }
+        }
+        patterns.extend(shard_patterns);
+        merge_stats(&mut stats, shard_stats);
+    }
+
+    MiningResult {
+        patterns,
+        frequent_events: freq_events
+            .iter()
+            .map(|&e| (e, index.support(e)))
+            .collect(),
+        graph,
+        stats,
+    }
+}
+
+fn merge_stats(into: &mut MiningStats, from: MiningStats) {
+    for (i, v) in from.nodes_verified.into_iter().enumerate() {
+        if into.nodes_verified.len() <= i {
+            into.nodes_verified.push(0);
+            into.nodes_kept.push(0);
+            into.patterns_found.push(0);
+        }
+        into.nodes_verified[i] += v;
+    }
+    for (i, v) in from.nodes_kept.into_iter().enumerate() {
+        if into.nodes_kept.len() <= i {
+            into.nodes_kept.push(0);
+        }
+        into.nodes_kept[i] += v;
+    }
+    for (i, v) in from.patterns_found.into_iter().enumerate() {
+        if into.patterns_found.len() <= i {
+            into.patterns_found.push(0);
+        }
+        into.patterns_found[i] += v;
+    }
+    into.instance_checks += from.instance_checks;
+    into.apriori_pruned += from.apriori_pruned;
+    into.transitivity_pruned += from.transitivity_pruned;
+}

@@ -1,0 +1,173 @@
+//! A brute-force reference miner: enumerates every chronological instance
+//! tuple of every sequence and counts pattern supports directly.
+//!
+//! Exponential in sequence length — usable only on small databases. It
+//! exists as (a) the correctness oracle that E-HTPGM and all baselines are
+//! cross-validated against, and (b) the "ground truth including
+//! uncorrelated series" needed to study the patterns A-HTPGM prunes
+//! (Fig 8).
+
+use std::collections::HashMap;
+
+use ftpm_bitmap::Bitmap;
+use ftpm_events::{SequenceDatabase, TemporalRelation};
+
+use crate::config::MinerConfig;
+use crate::hpg::HierarchicalPatternGraph;
+use crate::index::DatabaseIndex;
+use crate::pattern::Pattern;
+use crate::result::{FrequentPattern, MiningResult, MiningStats};
+
+/// Mines all frequent temporal patterns by exhaustive enumeration.
+///
+/// Produces exactly the same pattern set, supports and confidences as
+/// [`crate::mine_exact`] (asserted by the cross-validation tests), many
+/// orders of magnitude slower. Cap the pattern length with
+/// [`MinerConfig::with_max_events`] on all but trivial inputs.
+pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+    let n_seqs = db.len();
+    let sigma_abs = cfg.absolute_support(n_seqs);
+    let index = DatabaseIndex::build(db);
+
+    let mut support: HashMap<Pattern, Bitmap> = HashMap::new();
+
+    for (seq_id, seq) in db.sequences().iter().enumerate() {
+        let insts = seq.instances();
+        // DFS over chronologically increasing tuples. Every prefix of a
+        // valid occurrence is valid (all pairwise relations hold, and the
+        // monotone t_max constraint only tightens as the tuple grows), so
+        // pruning invalid prefixes is complete.
+        let mut tuple: Vec<usize> = Vec::new();
+        let mut rels: Vec<TemporalRelation> = Vec::new();
+        for start in 0..insts.len() {
+            tuple.push(start);
+            dfs(
+                db,
+                cfg,
+                seq_id,
+                insts.len(),
+                &mut tuple,
+                &mut rels,
+                &mut support,
+                sigma_abs,
+            );
+            tuple.pop();
+        }
+    }
+
+    let mut patterns: Vec<FrequentPattern> = support
+        .into_iter()
+        .filter_map(|(pattern, bitmap)| {
+            let supp = bitmap.count_ones();
+            if supp < sigma_abs {
+                return None;
+            }
+            let max_evt_supp = pattern
+                .events()
+                .iter()
+                .map(|&e| index.support(e))
+                .max()
+                .expect("patterns have events");
+            let confidence = supp as f64 / max_evt_supp as f64;
+            if confidence + 1e-9 < cfg.delta {
+                return None;
+            }
+            Some(FrequentPattern {
+                pattern,
+                support: supp,
+                rel_support: supp as f64 / n_seqs.max(1) as f64,
+                confidence,
+            })
+        })
+        .collect();
+    // Deterministic order: by length, then by events/relations.
+    patterns.sort_by(|a, b| {
+        (a.pattern.len(), a.pattern.events(), a.pattern.relations()).cmp(&(
+            b.pattern.len(),
+            b.pattern.events(),
+            b.pattern.relations(),
+        ))
+    });
+
+    let frequent_events = db
+        .registry()
+        .ids()
+        .filter(|&e| index.support(e) >= sigma_abs)
+        .map(|e| (e, index.support(e)))
+        .collect();
+
+    MiningResult {
+        patterns,
+        frequent_events,
+        graph: HierarchicalPatternGraph::default(),
+        stats: MiningStats::default(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    seq_id: usize,
+    n_insts: usize,
+    tuple: &mut Vec<usize>,
+    rels: &mut Vec<TemporalRelation>,
+    support: &mut HashMap<Pattern, Bitmap>,
+    _sigma_abs: usize,
+) {
+    let insts = db.sequences()[seq_id].instances();
+    if tuple.len() >= 2 {
+        let pattern = Pattern::new(
+            tuple.iter().map(|&i| insts[i].event).collect(),
+            rels.clone(),
+        );
+        support
+            .entry(pattern)
+            .or_insert_with(|| Bitmap::new(db.len()))
+            .set(seq_id);
+    }
+    if tuple.len() >= cfg.max_events.min(12) {
+        // Hard cap of 12 events keeps accidental misuse from exploding.
+        return;
+    }
+    let first_start = insts[tuple[0]].interval.start;
+    let tuple_max_end = tuple
+        .iter()
+        .map(|&i| insts[i].interval.end)
+        .max()
+        .expect("non-empty");
+    let last_key = insts[*tuple.last().expect("non-empty")].chrono_key();
+
+    for next in 0..n_insts {
+        let x = &insts[next];
+        if x.chrono_key() <= last_key {
+            continue;
+        }
+        if !cfg
+            .relation
+            .within_t_max(first_start, tuple_max_end.max(x.interval.end))
+        {
+            continue;
+        }
+        let mut new_rels = Vec::with_capacity(tuple.len());
+        let mut ok = true;
+        for &ti in tuple.iter() {
+            match cfg.relation.relate(&insts[ti].interval, &x.interval) {
+                Some(r) => new_rels.push(r),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let depth = rels.len();
+        rels.extend_from_slice(&new_rels);
+        tuple.push(next);
+        dfs(db, cfg, seq_id, n_insts, tuple, rels, support, _sigma_abs);
+        tuple.pop();
+        rels.truncate(depth);
+    }
+}

@@ -1,0 +1,148 @@
+use std::collections::HashSet;
+
+use ftpm_events::{EventId, EventRegistry};
+use serde::{Deserialize, Serialize};
+
+use crate::hpg::HierarchicalPatternGraph;
+use crate::pattern::Pattern;
+
+/// A mined frequent temporal pattern together with its measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequentPattern {
+    /// The pattern itself.
+    pub pattern: Pattern,
+    /// Absolute support `supp(P)` (Def 3.14): number of supporting
+    /// sequences.
+    pub support: usize,
+    /// Relative support `supp(P)/|D_SEQ|` (Eq. 4).
+    pub rel_support: f64,
+    /// Confidence (Def 3.16): `supp(P) / max_k supp(E_k)`.
+    pub confidence: f64,
+}
+
+/// Counters describing one mining run — used by the ablation experiments
+/// (Figs 6–7) to show *why* a pruning configuration is faster.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MiningStats {
+    /// Nodes whose instances were actually verified, per level (index 0 is
+    /// level 2).
+    pub nodes_verified: Vec<usize>,
+    /// Nodes that ended up with at least one frequent pattern, per level.
+    pub nodes_kept: Vec<usize>,
+    /// Frequent patterns found, per level.
+    pub patterns_found: Vec<usize>,
+    /// Instance pairs / extension candidates examined.
+    pub instance_checks: u64,
+    /// Candidate event combinations discarded by Apriori pruning
+    /// (Lemmas 2–3) before instance verification.
+    pub apriori_pruned: u64,
+    /// Extension candidates discarded by the transitivity / L2 lookup
+    /// (Lemmas 4–7).
+    pub transitivity_pruned: u64,
+}
+
+/// The output of a mining run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiningResult {
+    /// All frequent temporal patterns (`|P| ≥ 2` events), in discovery
+    /// order (level by level).
+    pub patterns: Vec<FrequentPattern>,
+    /// The frequent single events of L1 and their supports.
+    pub frequent_events: Vec<(EventId, usize)>,
+    /// Summary of the Hierarchical Pattern Graph that was built.
+    pub graph: HierarchicalPatternGraph,
+    /// Run counters.
+    pub stats: MiningStats,
+}
+
+impl MiningResult {
+    /// The set of pattern identities, for accuracy comparisons between
+    /// miners (Table IX: accuracy of A-HTPGM = fraction of E-HTPGM's
+    /// patterns that A-HTPGM also finds).
+    pub fn pattern_keys(&self) -> HashSet<Pattern> {
+        self.patterns.iter().map(|p| p.pattern.clone()).collect()
+    }
+
+    /// Number of frequent patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True iff no pattern was found.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Fraction of `other`'s patterns that this result also contains —
+    /// `accuracy(self vs other)` in the Table IX sense. Returns 1.0 when
+    /// `other` is empty.
+    pub fn accuracy_against(&self, other: &MiningResult) -> f64 {
+        if other.patterns.is_empty() {
+            return 1.0;
+        }
+        let mine = self.pattern_keys();
+        let found = other
+            .patterns
+            .iter()
+            .filter(|p| mine.contains(&p.pattern))
+            .count();
+        found as f64 / other.patterns.len() as f64
+    }
+
+    /// Renders all patterns as human-readable lines.
+    pub fn render(&self, registry: &EventRegistry) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for fp in &self.patterns {
+            let _ = writeln!(
+                out,
+                "{}  [supp={} ({:.0}%), conf={:.0}%]",
+                fp.pattern.display(registry),
+                fp.support,
+                fp.rel_support * 100.0,
+                fp.confidence * 100.0,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpm_events::TemporalRelation;
+
+    fn fp(e1: u32, e2: u32, support: usize) -> FrequentPattern {
+        FrequentPattern {
+            pattern: Pattern::pair(EventId(e1), TemporalRelation::Follow, EventId(e2)),
+            support,
+            rel_support: support as f64 / 4.0,
+            confidence: 0.8,
+        }
+    }
+
+    fn result(patterns: Vec<FrequentPattern>) -> MiningResult {
+        MiningResult {
+            patterns,
+            frequent_events: vec![],
+            graph: HierarchicalPatternGraph::default(),
+            stats: MiningStats::default(),
+        }
+    }
+
+    #[test]
+    fn accuracy_full_and_partial() {
+        let exact = result(vec![fp(0, 1, 3), fp(1, 2, 3), fp(2, 3, 3), fp(3, 4, 3)]);
+        let approx = result(vec![fp(0, 1, 3), fp(2, 3, 3)]);
+        assert_eq!(approx.accuracy_against(&exact), 0.5);
+        assert_eq!(exact.accuracy_against(&exact), 1.0);
+    }
+
+    #[test]
+    fn accuracy_against_empty_is_one() {
+        let empty = result(vec![]);
+        let some = result(vec![fp(0, 1, 2)]);
+        assert_eq!(some.accuracy_against(&empty), 1.0);
+        assert_eq!(empty.accuracy_against(&some), 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The strongest correctness checks in the repository: E-HTPGM must agree
+//! exactly — same patterns, same supports, same confidences — with a
+//! brute-force enumeration, under every pruning configuration, on many
+//! random databases. A-HTPGM must always return a subset of E-HTPGM and
+//! converge to it as μ → 0.
+
+use std::collections::HashMap;
+
+use ftpm_core::{
+    mine_approximate, mine_exact, mine_reference, MinerConfig, MiningResult, Pattern,
+    PruningConfig,
+};
+use ftpm_datagen::random_sequence_database;
+use ftpm_events::RelationConfig;
+
+fn as_map(result: &MiningResult) -> HashMap<Pattern, (usize, f64)> {
+    result
+        .patterns
+        .iter()
+        .map(|p| (p.pattern.clone(), (p.support, p.confidence)))
+        .collect()
+}
+
+fn assert_same_patterns(a: &MiningResult, b: &MiningResult, context: &str) {
+    let ma = as_map(a);
+    let mb = as_map(b);
+    for (pat, (supp, conf)) in &ma {
+        match mb.get(pat) {
+            None => panic!("{context}: pattern {pat:?} missing from second result"),
+            Some((s2, c2)) => {
+                assert_eq!(supp, s2, "{context}: support mismatch for {pat:?}");
+                assert!(
+                    (conf - c2).abs() < 1e-9,
+                    "{context}: confidence mismatch for {pat:?}: {conf} vs {c2}"
+                );
+            }
+        }
+    }
+    for pat in mb.keys() {
+        assert!(
+            ma.contains_key(pat),
+            "{context}: extra pattern {pat:?} in second result"
+        );
+    }
+}
+
+#[test]
+fn exact_matches_reference_on_many_random_databases() {
+    for seed in 0..25u64 {
+        let db = random_sequence_database(seed, 6, 3, 2, 40);
+        for &(sigma, delta) in &[(0.3, 0.3), (0.5, 0.5), (0.2, 0.8)] {
+            let cfg = MinerConfig::new(sigma, delta).with_max_events(4);
+            let exact = mine_exact(&db, &cfg);
+            let reference = mine_reference(&db, &cfg);
+            assert_same_patterns(
+                &exact,
+                &reference,
+                &format!("seed={seed} sigma={sigma} delta={delta}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_matches_reference_with_nontrivial_relation_config() {
+    // Buffer epsilon = 2, min overlap 3, tight t_max: exercises every
+    // branch of the relation model and the duration constraint.
+    let relation = RelationConfig::new(2, 3, 25);
+    for seed in 100..115u64 {
+        let db = random_sequence_database(seed, 5, 3, 2, 40);
+        let cfg = MinerConfig::new(0.3, 0.3)
+            .with_relation(relation)
+            .with_max_events(4);
+        let exact = mine_exact(&db, &cfg);
+        let reference = mine_reference(&db, &cfg);
+        assert_same_patterns(&exact, &reference, &format!("seed={seed} buffered"));
+    }
+}
+
+#[test]
+fn all_pruning_configurations_agree() {
+    // Pruning changes the work done, never the answer (Lemmas 2-7 are
+    // lossless for the exact miner).
+    let configs = [
+        PruningConfig::NO_PRUNE,
+        PruningConfig::APRIORI,
+        PruningConfig::TRANSITIVITY,
+        PruningConfig::ALL,
+    ];
+    for seed in 200..215u64 {
+        let db = random_sequence_database(seed, 6, 3, 2, 40);
+        let base = MinerConfig::new(0.3, 0.4).with_max_events(4);
+        let baseline = mine_exact(&db, &base.with_pruning(PruningConfig::NO_PRUNE));
+        for pruning in configs {
+            let got = mine_exact(&db, &base.with_pruning(pruning));
+            assert_same_patterns(&baseline, &got, &format!("seed={seed} {pruning:?}"));
+        }
+    }
+}
+
+#[test]
+fn pruning_reduces_work_not_output() {
+    // On a structured dataset the pruned runs must check strictly fewer
+    // candidates while finding the same patterns.
+    let data = ftpm_datagen::nist_like(0.01);
+    let base = MinerConfig::new(0.4, 0.4).with_max_events(3);
+    let no_prune = mine_exact(&data.seq, &base.with_pruning(PruningConfig::NO_PRUNE));
+    let all = mine_exact(&data.seq, &base.with_pruning(PruningConfig::ALL));
+    assert_same_patterns(&no_prune, &all, "nist-like pruning equivalence");
+    assert!(
+        all.stats.instance_checks < no_prune.stats.instance_checks,
+        "pruning should reduce instance checks: {} vs {}",
+        all.stats.instance_checks,
+        no_prune.stats.instance_checks
+    );
+}
+
+#[test]
+fn approximate_is_subset_of_exact() {
+    let data = ftpm_datagen::dataport_like(0.02);
+    let cfg = MinerConfig::new(0.3, 0.3).with_max_events(3);
+    let exact = mine_exact(&data.seq, &cfg);
+    for mu in [0.2, 0.5, 0.8] {
+        let approx = mine_approximate(&data.syb, &data.seq, mu, &cfg);
+        let exact_keys = exact.pattern_keys();
+        for p in &approx.result.patterns {
+            assert!(
+                exact_keys.contains(&p.pattern),
+                "mu={mu}: approximate found pattern not in exact output"
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_accuracy_monotone_in_mu() {
+    let data = ftpm_datagen::dataport_like(0.02);
+    let cfg = MinerConfig::new(0.3, 0.3).with_max_events(3);
+    let exact = mine_exact(&data.seq, &cfg);
+    assert!(!exact.is_empty(), "need patterns for the accuracy test");
+    // A lower raw NMI threshold keeps more correlation-graph edges, so
+    // accuracy grows as mu decreases. (The paper's "A-HTPGM (80%)" labels
+    // are graph-density targets, i.e. the opposite axis direction.)
+    let mut prev = -1.0f64;
+    for mu in [0.8, 0.5, 0.2, 0.01] {
+        let approx = mine_approximate(&data.syb, &data.seq, mu, &cfg);
+        let acc = approx.result.accuracy_against(&exact);
+        assert!(
+            acc >= prev - 1e-12,
+            "accuracy should not drop as mu decreases: mu={mu} acc={acc} prev={prev}"
+        );
+        prev = acc;
+    }
+    // With a negligible mu every variable pair is correlated: exact match.
+    let approx = mine_approximate(&data.syb, &data.seq, 1e-12_f64.max(f64::MIN_POSITIVE), &cfg);
+    assert_eq!(approx.result.len(), exact.len());
+}
+
+#[test]
+fn support_and_confidence_satisfy_thresholds() {
+    for seed in 300..310u64 {
+        let db = random_sequence_database(seed, 8, 4, 2, 50);
+        let cfg = MinerConfig::new(0.25, 0.4).with_max_events(4);
+        let sigma_abs = cfg.absolute_support(db.len());
+        let result = mine_exact(&db, &cfg);
+        for p in &result.patterns {
+            assert!(p.support >= sigma_abs);
+            assert!(p.confidence + 1e-9 >= cfg.delta);
+            assert!((0.0..=1.0).contains(&p.rel_support));
+            assert!(p.confidence <= 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn lemma2_pattern_support_bounded_by_event_support() {
+    for seed in 400..408u64 {
+        let db = random_sequence_database(seed, 8, 3, 2, 40);
+        let cfg = MinerConfig::new(0.2, 0.2).with_max_events(3);
+        let result = mine_exact(&db, &cfg);
+        let event_supp: HashMap<_, _> = result.frequent_events.iter().copied().collect();
+        for p in &result.patterns {
+            for e in p.pattern.events() {
+                assert!(
+                    p.support <= event_supp[e],
+                    "seed={seed}: supp(P) must be <= supp(E) (Lemma 2)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma6_prefix_confidence_at_least_pattern_confidence() {
+    for seed in 500..506u64 {
+        let db = random_sequence_database(seed, 7, 3, 2, 40);
+        let cfg = MinerConfig::new(0.2, 0.2).with_max_events(4);
+        let result = mine_exact(&db, &cfg);
+        let by_key = as_map(&result);
+        for p in &result.patterns {
+            for other in &result.patterns {
+                if other.pattern.len() < p.pattern.len()
+                    && p.pattern.has_prefix(&other.pattern)
+                {
+                    let (_, prefix_conf) = by_key[&other.pattern];
+                    assert!(
+                        prefix_conf + 1e-9 >= p.confidence,
+                        "seed={seed}: Lemma 6 violated"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn event_level_approximate_is_subset_of_exact() {
+    use ftpm_core::mine_approximate_event_level;
+    let data = ftpm_datagen::dataport_like(0.02);
+    let cfg = MinerConfig::new(0.3, 0.3).with_max_events(3);
+    let exact = mine_exact(&data.seq, &cfg);
+    let exact_keys = exact.pattern_keys();
+    for mu in [0.1, 0.4, 0.7] {
+        let approx = mine_approximate_event_level(&data.syb, &data.seq, mu, &cfg);
+        for p in &approx.result.patterns {
+            assert!(
+                exact_keys.contains(&p.pattern),
+                "mu={mu}: event-level approx invented a pattern"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_indicator_database_matches_symbols() {
+    use ftpm_core::event_indicator_database;
+    let data = ftpm_datagen::dataport_like(0.01);
+    let ind = event_indicator_database(&data.syb, &data.seq);
+    assert_eq!(ind.n_variables(), data.seq.registry().len());
+    assert_eq!(ind.n_steps(), data.syb.n_steps());
+    // Spot check: the indicator of event e is On exactly where the
+    // source series carries e's symbol.
+    let reg = data.seq.registry();
+    let e = ftpm_events::EventId(0);
+    let var = reg.variable(e);
+    let sym = reg.symbol(e);
+    let src = data.syb.series(var);
+    let indicator = ind.series(ftpm_timeseries::VariableId(0));
+    for (a, b) in src.symbols().iter().zip(indicator.symbols()) {
+        assert_eq!(*a == sym, b.0 == 1);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential() {
+    use ftpm_core::mine_exact_parallel;
+    for seed in 600..606u64 {
+        let db = random_sequence_database(seed, 8, 4, 2, 50);
+        let cfg = MinerConfig::new(0.25, 0.3).with_max_events(4);
+        let sequential = mine_exact(&db, &cfg);
+        for threads in [1, 2, 4] {
+            let parallel = mine_exact_parallel(&db, &cfg, threads);
+            assert_same_patterns(
+                &sequential,
+                &parallel,
+                &format!("seed={seed} threads={threads}"),
+            );
+            assert_eq!(
+                parallel.stats.instance_checks, sequential.stats.instance_checks,
+                "same work regardless of thread count"
+            );
+        }
+    }
+    let data = ftpm_datagen::dataport_like(0.01);
+    let cfg = MinerConfig::new(0.3, 0.3).with_max_events(3);
+    let sequential = mine_exact(&data.seq, &cfg);
+    let parallel = mine_exact_parallel(&data.seq, &cfg, 4);
+    assert_same_patterns(&sequential, &parallel, "structured parallel");
+}

@@ -1,0 +1,111 @@
+use serde::{Deserialize, Serialize};
+
+use crate::event::EventId;
+
+/// A half-open time interval `[start, end)` in integer ticks.
+///
+/// Instances always have positive duration; zero-length intervals are
+/// rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start time `t_s`.
+    pub start: i64,
+    /// Exclusive end time `t_e`.
+    pub end: i64,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(start: i64, end: i64) -> Self {
+        assert!(end > start, "interval must have positive duration: [{start}, {end})");
+        Interval { start, end }
+    }
+
+    /// Duration `t_e − t_s` in ticks.
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// True iff the two intervals share at least one instant.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The length of the intersection, zero if disjoint.
+    pub fn overlap_duration(&self, other: &Interval) -> i64 {
+        (self.end.min(other.end) - self.start.max(other.start)).max(0)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A single occurrence of a temporal event during an interval — the tuple
+/// `e = (ω, [t_s, t_e])` of Def 3.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventInstance {
+    /// The event this is an instance of.
+    pub event: EventId,
+    /// When the occurrence happened.
+    pub interval: Interval,
+}
+
+impl EventInstance {
+    /// Creates an instance.
+    pub fn new(event: EventId, start: i64, end: i64) -> Self {
+        EventInstance {
+            event,
+            interval: Interval::new(start, end),
+        }
+    }
+
+    /// Chronological key: instances are ordered by start time, with ties
+    /// broken by end time and then event id so sequences have a canonical
+    /// order (Def 3.9 orders by start time only; the tie-breaks make the
+    /// order total).
+    pub fn chrono_key(&self) -> (i64, i64, EventId) {
+        (self.interval.start, self.interval.end, self.event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_intersection() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        let c = Interval::new(10, 12);
+        assert_eq!(a.duration(), 10);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c), "half-open intervals touching do not intersect");
+        assert_eq!(a.overlap_duration(&b), 5);
+        assert_eq!(a.overlap_duration(&c), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn empty_interval_panics() {
+        let _ = Interval::new(5, 5);
+    }
+
+    #[test]
+    fn chrono_key_orders_by_start_then_end() {
+        let a = EventInstance::new(EventId(7), 0, 10);
+        let b = EventInstance::new(EventId(1), 0, 12);
+        let c = EventInstance::new(EventId(0), 3, 4);
+        let mut v = [c, b, a];
+        v.sort_by_key(|i| i.chrono_key());
+        assert_eq!(v[0], a);
+        assert_eq!(v[1], b);
+        assert_eq!(v[2], c);
+    }
+}

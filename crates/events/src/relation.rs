@@ -1,0 +1,298 @@
+use serde::{Deserialize, Serialize};
+
+use crate::instance::Interval;
+
+/// The three temporal relations of the paper's simplified Allen model
+/// (Defs 3.6–3.8, Table II). `ℜ = {Follow, Contain, Overlap}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TemporalRelation {
+    /// `E1 → E2`: e2 starts after e1 ends (within the buffer `ε`).
+    Follow,
+    /// `E1 ≺ E2` (paper: `<`): e2 lies within e1 (within `ε` at the end).
+    Contain,
+    /// `E1 ⋒ E2` (paper: `G`): e1 and e2 overlap by at least `d_o` and e2
+    /// outlives e1.
+    Overlap,
+}
+
+impl TemporalRelation {
+    /// All relations, in a fixed order used for dense indexing.
+    pub const ALL: [TemporalRelation; 3] = [
+        TemporalRelation::Follow,
+        TemporalRelation::Contain,
+        TemporalRelation::Overlap,
+    ];
+
+    /// Dense index 0..3.
+    pub fn index(self) -> usize {
+        match self {
+            TemporalRelation::Follow => 0,
+            TemporalRelation::Contain => 1,
+            TemporalRelation::Overlap => 2,
+        }
+    }
+
+    /// The paper's infix glyph for the relation.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            TemporalRelation::Follow => "->",
+            TemporalRelation::Contain => "<",
+            TemporalRelation::Overlap => "G",
+        }
+    }
+}
+
+impl std::fmt::Display for TemporalRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            TemporalRelation::Follow => "Follow",
+            TemporalRelation::Contain => "Contain",
+            TemporalRelation::Overlap => "Overlap",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Parameters of the relation model and the pattern-duration constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationConfig {
+    /// Buffer `ε ≥ 0` added to interval endpoints as tolerated jitter
+    /// (Defs 3.6–3.8). An overlap of at most `ε` still counts as Follow.
+    pub epsilon: i64,
+    /// Minimal overlapping duration `d_o` for the Overlap relation
+    /// (Def 3.8). The paper requires `0 ≤ ε ≤ d_o`.
+    pub min_overlap: i64,
+    /// Maximal pattern duration `t_max` (Section III-C): the last instance
+    /// of a pattern occurrence must end within `t_max` of the first
+    /// instance's start.
+    pub t_max: i64,
+}
+
+impl Default for RelationConfig {
+    /// `ε = 0`, `d_o = 1` tick, `t_max = i64::MAX / 4` (effectively
+    /// unconstrained). With these defaults the three relations are both
+    /// mutually exclusive and complete for instance pairs with distinct
+    /// start times.
+    fn default() -> Self {
+        RelationConfig {
+            epsilon: 0,
+            min_overlap: 1,
+            t_max: i64::MAX / 4,
+        }
+    }
+}
+
+impl RelationConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ε ≤ d_o` and `t_max > 0`.
+    pub fn new(epsilon: i64, min_overlap: i64, t_max: i64) -> Self {
+        assert!(epsilon >= 0, "epsilon must be non-negative");
+        assert!(
+            min_overlap >= epsilon,
+            "paper requires epsilon <= d_o (Def 3.8)"
+        );
+        assert!(t_max > 0, "t_max must be positive");
+        RelationConfig {
+            epsilon,
+            min_overlap,
+            t_max,
+        }
+    }
+
+    /// Same config with a different `t_max`.
+    pub fn with_t_max(self, t_max: i64) -> Self {
+        RelationConfig { t_max, ..self }
+    }
+
+    /// Determines the relation between two instances whose chronological
+    /// order is `first` then `second` (i.e. `first.chrono_key() <=
+    /// second.chrono_key()`).
+    ///
+    /// Returns `None` when no relation applies — possible when start times
+    /// coincide, or when intervals overlap by more than `ε` but less than
+    /// `d_o` while `second` outlives `first`.
+    ///
+    /// The predicates are evaluated in the order Follow, Contain, Overlap,
+    /// which makes them mutually exclusive even for `ε > 0` (the paper's
+    /// stated intent in Section III-B).
+    pub fn relate(&self, first: &Interval, second: &Interval) -> Option<TemporalRelation> {
+        debug_assert!(
+            (first.start, first.end) <= (second.start, second.end),
+            "relate() requires chronological argument order"
+        );
+        // Def 3.6 (Follow): t_e1 ± ε ≤ t_s2 — the second instance begins
+        // once the first has ended, tolerating up to ε of overlap.
+        if second.start >= first.end - self.epsilon {
+            return Some(TemporalRelation::Follow);
+        }
+        // Def 3.7 (Contain): t_s1 ≤ t_s2 ∧ t_e1 ± ε ≥ t_e2.
+        if first.start <= second.start && second.end <= first.end + self.epsilon {
+            return Some(TemporalRelation::Contain);
+        }
+        // Def 3.8 (Overlap): t_s1 < t_s2 ∧ t_e1 ± ε < t_e2 ∧
+        // t_e1 − t_s2 ≥ d_o.
+        if first.start < second.start
+            && second.end > first.end + self.epsilon
+            && first.end - second.start >= self.min_overlap
+        {
+            return Some(TemporalRelation::Overlap);
+        }
+        None
+    }
+
+    /// True iff a pattern occurrence whose chronologically first instance
+    /// starts at `first_start` and whose last instance ends at `last_end`
+    /// satisfies the maximal-duration constraint.
+    pub fn within_t_max(&self, first_start: i64, last_end: i64) -> bool {
+        last_end - first_start <= self.t_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn follow_basic() {
+        let cfg = RelationConfig::default();
+        assert_eq!(cfg.relate(&iv(0, 5), &iv(5, 8)), Some(TemporalRelation::Follow));
+        assert_eq!(cfg.relate(&iv(0, 5), &iv(9, 12)), Some(TemporalRelation::Follow));
+    }
+
+    #[test]
+    fn contain_basic() {
+        let cfg = RelationConfig::default();
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(2, 8)), Some(TemporalRelation::Contain));
+        // Shared right endpoint still contains.
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(2, 10)), Some(TemporalRelation::Contain));
+        // Shared start: ts1 <= ts2 holds, so Contain applies.
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(0, 10)), Some(TemporalRelation::Contain));
+    }
+
+    #[test]
+    fn overlap_basic() {
+        let cfg = RelationConfig::default();
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(5, 15)), Some(TemporalRelation::Overlap));
+    }
+
+    #[test]
+    fn overlap_requires_min_duration() {
+        let cfg = RelationConfig::new(0, 3, 1000);
+        // Overlap of 2 < d_o = 3: no relation at all.
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(8, 15)), None);
+        // Overlap of exactly 3 qualifies.
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(7, 15)), Some(TemporalRelation::Overlap));
+    }
+
+    #[test]
+    fn epsilon_turns_small_overlap_into_follow() {
+        let cfg = RelationConfig::new(2, 2, 1000);
+        // Overlap of 2 <= epsilon: tolerated, counted as Follow.
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(8, 15)), Some(TemporalRelation::Follow));
+        // Overlap of 3 > epsilon and >= d_o: Overlap.
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(7, 15)), Some(TemporalRelation::Overlap));
+    }
+
+    #[test]
+    fn epsilon_extends_contain_at_the_end() {
+        let cfg = RelationConfig::new(2, 2, 1000);
+        // e2 outlives e1 by 2 <= epsilon: still contained.
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(3, 12)), Some(TemporalRelation::Contain));
+        // Outlives by 3 > epsilon: overlap (overlap duration 7 >= d_o).
+        assert_eq!(cfg.relate(&iv(0, 10), &iv(3, 13)), Some(TemporalRelation::Overlap));
+    }
+
+    #[test]
+    fn same_start_longer_second_has_no_relation() {
+        // ts1 == ts2 but e2 ends later: none of the three relations applies
+        // (Overlap needs strict ts1 < ts2, Contain needs te2 <= te1).
+        let cfg = RelationConfig::default();
+        assert_eq!(cfg.relate(&iv(0, 5), &iv(0, 9)), None);
+    }
+
+    #[test]
+    fn t_max_constraint() {
+        let cfg = RelationConfig::new(0, 1, 60);
+        assert!(cfg.within_t_max(0, 60));
+        assert!(!cfg.within_t_max(0, 61));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon <= d_o")]
+    fn epsilon_greater_than_min_overlap_panics() {
+        let _ = RelationConfig::new(5, 2, 100);
+    }
+
+    proptest! {
+        /// With the default config the relation is total for instance pairs
+        /// with distinct start times — the "completeness" the paper claims
+        /// for its simplified model.
+        #[test]
+        fn prop_complete_for_distinct_starts(
+            s1 in 0i64..1000, d1 in 1i64..100,
+            s2 in 0i64..1000, d2 in 1i64..100,
+        ) {
+            prop_assume!(s1 != s2);
+            let (a, b) = if (s1, s1 + d1) <= (s2, s2 + d2) {
+                (iv(s1, s1 + d1), iv(s2, s2 + d2))
+            } else {
+                (iv(s2, s2 + d2), iv(s1, s1 + d1))
+            };
+            let cfg = RelationConfig::default();
+            prop_assert!(cfg.relate(&a, &b).is_some());
+        }
+
+        /// The three paper predicates, evaluated independently with ε = 0,
+        /// never both hold for the same pair: mutual exclusivity.
+        #[test]
+        fn prop_mutually_exclusive_eps0(
+            s1 in 0i64..500, d1 in 1i64..60,
+            s2 in 0i64..500, d2 in 1i64..60,
+            min_overlap in 1i64..10,
+        ) {
+            let (a, b) = if (s1, s1 + d1) <= (s2, s2 + d2) {
+                (iv(s1, s1 + d1), iv(s2, s2 + d2))
+            } else {
+                (iv(s2, s2 + d2), iv(s1, s1 + d1))
+            };
+            let follow = b.start >= a.end;
+            let contain = a.start <= b.start && b.end <= a.end && b.start < a.end;
+            let overlap = a.start < b.start && b.end > a.end
+                && a.end - b.start >= min_overlap;
+            prop_assert!(u8::from(follow) + u8::from(contain) + u8::from(overlap) <= 1);
+            // And relate() agrees with whichever predicate holds.
+            let cfg = RelationConfig::new(0, min_overlap, i64::MAX / 4);
+            let got = cfg.relate(&a, &b);
+            if follow { prop_assert_eq!(got, Some(TemporalRelation::Follow)); }
+            if contain { prop_assert_eq!(got, Some(TemporalRelation::Contain)); }
+            if overlap { prop_assert_eq!(got, Some(TemporalRelation::Overlap)); }
+        }
+
+        /// relate() never returns Overlap with less than d_o of overlap.
+        #[test]
+        fn prop_overlap_duration_respected(
+            s1 in 0i64..500, d1 in 1i64..60,
+            s2 in 0i64..500, d2 in 1i64..60,
+            eps in 0i64..5, extra in 0i64..5,
+        ) {
+            let min_overlap = eps + extra + 1;
+            let (a, b) = if (s1, s1 + d1) <= (s2, s2 + d2) {
+                (iv(s1, s1 + d1), iv(s2, s2 + d2))
+            } else {
+                (iv(s2, s2 + d2), iv(s1, s1 + d1))
+            };
+            let cfg = RelationConfig::new(eps, min_overlap, i64::MAX / 4);
+            if cfg.relate(&a, &b) == Some(TemporalRelation::Overlap) {
+                prop_assert!(a.overlap_duration(&b) >= min_overlap);
+            }
+        }
+    }
+}

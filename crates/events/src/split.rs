@@ -1,0 +1,212 @@
+use ftpm_timeseries::SymbolicDatabase;
+use serde::{Deserialize, Serialize};
+
+use crate::event::EventRegistry;
+use crate::instance::EventInstance;
+use crate::sequence::{SequenceDatabase, TemporalSequence};
+
+/// Configuration of the D_SYB → D_SEQ conversion (Section IV-B2, Fig 3).
+///
+/// The symbolic database is cut into windows of `window` ticks; consecutive
+/// windows overlap by `overlap` ticks (`t_ov`). `overlap = 0` is the plain
+/// equal-length split (no redundancy, possible pattern loss at the cut
+/// points); `overlap = t_max` guarantees that every pattern of duration at
+/// most `t_max` survives in some window (Fig 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitConfig {
+    /// Window length `t` in ticks.
+    pub window: i64,
+    /// Overlap `t_ov ∈ [0, window)` between consecutive windows, in ticks.
+    pub overlap: i64,
+}
+
+impl SplitConfig {
+    /// Creates a split config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window > 0` and `0 ≤ overlap < window`.
+    pub fn new(window: i64, overlap: i64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            (0..window).contains(&overlap),
+            "overlap must be in [0, window)"
+        );
+        SplitConfig { window, overlap }
+    }
+
+    /// Distance between consecutive window starts.
+    pub fn stride(&self) -> i64 {
+        self.window - self.overlap
+    }
+}
+
+/// Converts a symbolic database into a temporal sequence database —
+/// the second half of the paper's Data Transformation phase.
+///
+/// For every window and every variable, runs of identical consecutive
+/// symbols are merged into one event instance (Def 3.4), clipped to the
+/// window boundaries. A sample at time `t` is considered to hold during
+/// `[t, t + step)`.
+///
+/// Windows are aligned to whole sampling steps, so `window` and `overlap`
+/// should be multiples of `db.step()` (they are rounded down to step
+/// boundaries otherwise). Only full windows are emitted, matching the
+/// paper's equal-length sequences.
+///
+/// # Examples
+///
+/// ```
+/// use ftpm_timeseries::{Alphabet, SymbolicDatabase, SymbolicSeries};
+/// use ftpm_events::{to_sequence_database, SplitConfig};
+///
+/// let mut db = SymbolicDatabase::new(0, 5, 8);
+/// db.push(SymbolicSeries::from_labels(
+///     "K", Alphabet::on_off(),
+///     ["On", "On", "Off", "Off", "On", "On", "Off", "Off"]));
+/// // Two windows of 20 ticks, no overlap.
+/// let seq_db = to_sequence_database(&db, SplitConfig::new(20, 0));
+/// assert_eq!(seq_db.len(), 2);
+/// assert_eq!(seq_db.sequences()[0].len(), 2); // K=On [0,10), K=Off [10,20)
+/// ```
+pub fn to_sequence_database(db: &SymbolicDatabase, split: SplitConfig) -> SequenceDatabase {
+    let step = db.step();
+    let win_steps = (split.window / step).max(1) as usize;
+    let stride_steps = (split.stride() / step).max(1) as usize;
+
+    let mut registry = EventRegistry::new();
+    let mut sequences = Vec::new();
+
+    let mut first = 0usize;
+    while first + win_steps <= db.n_steps() {
+        let mut instances = Vec::new();
+        for (var, series) in db.iter() {
+            let symbols = &series.symbols()[first..first + win_steps];
+            let mut run_start = 0usize;
+            while run_start < symbols.len() {
+                let sym = symbols[run_start];
+                let mut run_end = run_start + 1;
+                while run_end < symbols.len() && symbols[run_end] == sym {
+                    run_end += 1;
+                }
+                let event = registry.intern(var, sym, || {
+                    format!("{}={}", series.name(), series.alphabet().label(sym))
+                });
+                instances.push(EventInstance::new(
+                    event,
+                    db.time_at(first + run_start),
+                    db.time_at(first + run_end),
+                ));
+                run_start = run_end;
+            }
+        }
+        sequences.push(TemporalSequence::new(instances));
+        first += stride_steps;
+    }
+
+    SequenceDatabase::new(registry, sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpm_timeseries::{Alphabet, SymbolicSeries};
+
+    fn onoff_db(rows: &[(&str, &str)], step: i64) -> SymbolicDatabase {
+        let n = rows[0].1.len();
+        let mut db = SymbolicDatabase::new(0, step, n);
+        for (name, bits) in rows {
+            let labels: Vec<&str> = bits
+                .chars()
+                .map(|c| if c == '1' { "On" } else { "Off" })
+                .collect();
+            db.push(SymbolicSeries::from_labels(*name, Alphabet::on_off(), labels));
+        }
+        db
+    }
+
+    #[test]
+    fn runs_are_merged_into_instances() {
+        let db = onoff_db(&[("K", "11001")], 1);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(5, 0));
+        assert_eq!(seq_db.len(), 1);
+        let seq = &seq_db.sequences()[0];
+        assert_eq!(seq.len(), 3);
+        let reg = seq_db.registry();
+        let descr: Vec<(String, i64, i64)> = seq
+            .instances()
+            .iter()
+            .map(|i| {
+                (
+                    reg.label(i.event).to_owned(),
+                    i.interval.start,
+                    i.interval.end,
+                )
+            })
+            .collect();
+        assert_eq!(
+            descr,
+            vec![
+                ("K=On".to_owned(), 0, 2),
+                ("K=Off".to_owned(), 2, 4),
+                ("K=On".to_owned(), 4, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn no_overlap_split_partitions_time() {
+        let db = onoff_db(&[("K", "11110000")], 5);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(20, 0));
+        assert_eq!(seq_db.len(), 2);
+        // First window: one On run [0,20); second: one Off run [20,40).
+        assert_eq!(seq_db.sequences()[0].len(), 1);
+        assert_eq!(seq_db.sequences()[0].instances()[0].interval.start, 0);
+        assert_eq!(seq_db.sequences()[0].instances()[0].interval.end, 20);
+        assert_eq!(seq_db.sequences()[1].instances()[0].interval.start, 20);
+    }
+
+    #[test]
+    fn runs_are_clipped_at_window_boundaries() {
+        // One long On run split across two windows.
+        let db = onoff_db(&[("K", "1111")], 5);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(10, 0));
+        assert_eq!(seq_db.len(), 2);
+        assert_eq!(seq_db.sequences()[0].instances()[0].interval.end, 10);
+        assert_eq!(seq_db.sequences()[1].instances()[0].interval.start, 10);
+    }
+
+    #[test]
+    fn overlapping_windows_share_instances() {
+        let db = onoff_db(&[("K", "10101010")], 1);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(4, 2));
+        // Windows at steps 0,2,4 -> 3 windows of 4 steps.
+        assert_eq!(seq_db.len(), 3);
+        // Window 1 covers steps 2..6; its first instance starts at t=2.
+        assert_eq!(seq_db.sequences()[1].instances()[0].interval.start, 2);
+    }
+
+    #[test]
+    fn partial_trailing_window_is_dropped() {
+        let db = onoff_db(&[("K", "111110")], 1);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(4, 0));
+        assert_eq!(seq_db.len(), 1, "only one full 4-step window fits");
+    }
+
+    #[test]
+    fn multiple_variables_interleave_chronologically() {
+        let db = onoff_db(&[("K", "1100"), ("T", "0110")], 1);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(4, 0));
+        let seq = &seq_db.sequences()[0];
+        // K=On [0,2), T=Off [0,1), T=On [1,3), K=Off [2,4), T=Off [3,4)
+        assert_eq!(seq.len(), 5);
+        let starts: Vec<i64> = seq.instances().iter().map(|i| i.interval.start).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be in")]
+    fn overlap_ge_window_panics() {
+        let _ = SplitConfig::new(10, 10);
+    }
+}

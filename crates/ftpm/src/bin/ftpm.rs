@@ -1,0 +1,253 @@
+//! `ftpm` — command-line frontend for the FTPMfTS pipeline.
+//!
+//! ```text
+//! ftpm mine  --input data.csv --sigma 0.5 --delta 0.5 --window 360
+//! ftpm mine  --demo nist --scale 0.02 --sigma 0.4 --delta 0.4
+//! ftpm mine  --demo city --approx-density 0.6 --sigma 0.3 --delta 0.3
+//! ftpm graph --demo nist --scale 0.02 --mu 0.4
+//! ```
+//!
+//! CSV input: first column is the timestamp (integer ticks at a constant
+//! step), remaining columns are numeric variables. Binary symbolization
+//! (`--threshold`, default 0.05) is applied unless `--states N` asks for
+//! N quantile states.
+
+use std::process::ExitCode;
+
+use ftpm::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("mine") => run_mine(&args[1..]),
+        Some("graph") => run_graph(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}; try `ftpm --help`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "ftpm — Frequent Temporal Pattern Mining from Time Series
+
+USAGE:
+  ftpm mine  [--input FILE.csv | --demo nist|ukdale|dataport|city]
+             [--sigma F] [--delta F] [--window MIN] [--overlap MIN]
+             [--threshold F | --states N] [--scale F]
+             [--mu F | --approx-density F] [--max-events N] [--json]
+  ftpm graph [--input FILE.csv | --demo ...] [--mu F] [--scale F]
+
+OPTIONS:
+  --input FILE       CSV with a time column followed by numeric variables
+  --demo NAME        use a built-in synthetic dataset instead of a file
+  --scale F          demo dataset scale in (0,1]          [default 0.02]
+  --sigma F          support threshold in (0,1]           [default 0.5]
+  --delta F          confidence threshold in (0,1]        [default 0.5]
+  --window MIN       sequence window length in ticks      [default 360]
+  --overlap MIN      window overlap t_ov in ticks         [default 0]
+  --threshold F      On/Off symbolization threshold       [default 0.05]
+  --states N         use N quantile states instead of On/Off
+  --mu F             A-HTPGM with explicit NMI threshold
+  --approx-density F A-HTPGM with correlation-graph density target
+  --max-events N     cap pattern length                   [default 5]
+  --json             machine-readable output"
+    );
+}
+
+struct Options {
+    input: Option<String>,
+    demo: Option<String>,
+    scale: f64,
+    sigma: f64,
+    delta: f64,
+    window: i64,
+    overlap: i64,
+    threshold: f64,
+    states: Option<usize>,
+    mu: Option<f64>,
+    density: Option<f64>,
+    max_events: usize,
+    json: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opt = Options {
+        input: None,
+        demo: None,
+        scale: 0.02,
+        sigma: 0.5,
+        delta: 0.5,
+        window: 360,
+        overlap: 0,
+        threshold: 0.05,
+        states: None,
+        mu: None,
+        density: None,
+        max_events: 5,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--input" => opt.input = Some(value("--input")?),
+            "--demo" => opt.demo = Some(value("--demo")?),
+            "--scale" => opt.scale = num(&value("--scale")?)?,
+            "--sigma" => opt.sigma = num(&value("--sigma")?)?,
+            "--delta" => opt.delta = num(&value("--delta")?)?,
+            "--window" => opt.window = num(&value("--window")?)? as i64,
+            "--overlap" => opt.overlap = num(&value("--overlap")?)? as i64,
+            "--threshold" => opt.threshold = num(&value("--threshold")?)?,
+            "--states" => opt.states = Some(num(&value("--states")?)? as usize),
+            "--mu" => opt.mu = Some(num(&value("--mu")?)?),
+            "--approx-density" => opt.density = Some(num(&value("--approx-density")?)?),
+            "--max-events" => opt.max_events = num(&value("--max-events")?)? as usize,
+            "--json" => opt.json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if opt.input.is_none() && opt.demo.is_none() {
+        return Err("need --input FILE or --demo NAME".into());
+    }
+    Ok(opt)
+}
+
+fn num(s: &str) -> Result<f64, String> {
+    s.parse::<f64>().map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+/// Loads the symbolic + sequence databases from the chosen source.
+fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase), String> {
+    if let Some(demo) = &opt.demo {
+        let d = match demo.as_str() {
+            "nist" => nist_like(opt.scale),
+            "ukdale" => ukdale_like(opt.scale),
+            "dataport" => dataport_like(opt.scale),
+            "city" => smartcity_like(opt.scale),
+            other => return Err(format!("unknown demo dataset {other:?}")),
+        };
+        return Ok((d.syb, d.seq));
+    }
+    let path = opt.input.as_ref().expect("checked in parse");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let series = parse_csv(&text)?;
+    let mut syb = SymbolicDatabase::new(series[0].start(), series[0].step(), series[0].len());
+    for ts in &series {
+        match opt.states {
+            None => {
+                syb.add_time_series(ts, &ThresholdSymbolizer::new(opt.threshold));
+            }
+            Some(n) => {
+                let labels: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
+                let q = QuantileSymbolizer::from_data(labels, ts.values());
+                syb.add_time_series(ts, &q);
+            }
+        }
+    }
+    let seq = to_sequence_database(&syb, SplitConfig::new(opt.window, opt.overlap));
+    Ok((syb, seq))
+}
+
+fn run_mine(args: &[String]) -> ExitCode {
+    let opt = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (syb, seq) = match load(&opt) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = MinerConfig::new(opt.sigma, opt.delta).with_max_events(opt.max_events.max(2));
+    let started = std::time::Instant::now();
+    let (result, label) = if let Some(mu) = opt.mu {
+        (mine_approximate(&syb, &seq, mu, &cfg).result, format!("A-HTPGM(mu={mu})"))
+    } else if let Some(d) = opt.density {
+        (
+            mine_approximate_with_density(&syb, &seq, d, &cfg).result,
+            format!("A-HTPGM(density={d})"),
+        )
+    } else {
+        (mine_exact(&seq, &cfg), "E-HTPGM".to_owned())
+    };
+    let elapsed = started.elapsed();
+
+    if opt.json {
+        let payload = serde_json::json!({
+            "miner": label,
+            "sequences": seq.len(),
+            "distinct_events": seq.registry().len(),
+            "elapsed_ms": elapsed.as_millis() as u64,
+            "patterns": result.patterns.iter().map(|p| serde_json::json!({
+                "pattern": p.pattern.display(seq.registry()).to_string(),
+                "support": p.support,
+                "rel_support": p.rel_support,
+                "confidence": p.confidence,
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
+    } else {
+        println!(
+            "{label}: {} sequences, {} distinct events, {} patterns in {elapsed:.1?}",
+            seq.len(),
+            seq.registry().len(),
+            result.len(),
+        );
+        print!("{}", result.render(seq.registry()));
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_graph(args: &[String]) -> ExitCode {
+    let opt = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (syb, _) = match load(&opt) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mu = opt.mu.unwrap_or_else(|| mu_for_density(&syb, 0.4));
+    let graph = CorrelationGraph::build(&syb, mu);
+    println!(
+        "correlation graph: {} vertices, {} edges, density {:.2} (mu = {mu:.3})",
+        graph.n_vertices(),
+        graph.n_edges(),
+        graph.density(),
+    );
+    for (i, a) in syb.iter() {
+        for (j, b) in syb.iter() {
+            if i < j && graph.has_edge(i, j) {
+                println!(
+                    "  {} -- {}  (NMI {:.2}/{:.2})",
+                    a.name(),
+                    b.name(),
+                    graph.nmi(i, j),
+                    graph.nmi(j, i),
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

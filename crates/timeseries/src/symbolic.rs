@@ -1,0 +1,317 @@
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::{Alphabet, SymbolId};
+use crate::series::TimeSeries;
+use crate::symbolizer::Symbolizer;
+
+/// Index of a variable (one symbolic series) within a [`SymbolicDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VariableId(pub u32);
+
+/// The symbolic representation `X_S` of one time series (Def 3.2): one
+/// symbol per sampling step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymbolicSeries {
+    name: String,
+    alphabet: Alphabet,
+    symbols: Vec<SymbolId>,
+}
+
+impl SymbolicSeries {
+    /// Creates a symbolic series from pre-computed symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol is outside the alphabet.
+    pub fn new(name: impl Into<String>, alphabet: Alphabet, symbols: Vec<SymbolId>) -> Self {
+        assert!(
+            symbols.iter().all(|s| (s.0 as usize) < alphabet.len()),
+            "symbol outside alphabet"
+        );
+        SymbolicSeries {
+            name: name.into(),
+            alphabet,
+            symbols,
+        }
+    }
+
+    /// Symbolizes a raw time series.
+    pub fn from_time_series(ts: &TimeSeries, symbolizer: &dyn Symbolizer) -> Self {
+        SymbolicSeries {
+            name: ts.name().to_owned(),
+            alphabet: symbolizer.alphabet().clone(),
+            symbols: symbolizer.symbolize_all(ts.values()),
+        }
+    }
+
+    /// Parses a series from symbol labels, e.g. `["On", "Off", "On"]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label is not in the alphabet.
+    pub fn from_labels(
+        name: impl Into<String>,
+        alphabet: Alphabet,
+        labels: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> Self {
+        let symbols = labels
+            .into_iter()
+            .map(|l| {
+                let l = l.as_ref();
+                alphabet
+                    .lookup(l)
+                    .unwrap_or_else(|| panic!("label {l:?} not in alphabet"))
+            })
+            .collect();
+        SymbolicSeries {
+            name: name.into(),
+            alphabet,
+            symbols,
+        }
+    }
+
+    /// Variable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The alphabet `Σ_X`.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The symbols, one per time step.
+    pub fn symbols(&self) -> &[SymbolId] {
+        &self.symbols
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True iff the series has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Relative frequency of each symbol — the marginal distribution
+    /// `p(x)` used by the entropy and MI computations (Defs 5.1–5.2).
+    ///
+    /// Returns one probability per alphabet symbol (zero for unused ones).
+    pub fn symbol_probabilities(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.alphabet.len()];
+        for s in &self.symbols {
+            counts[s.0 as usize] += 1;
+        }
+        let n = self.symbols.len().max(1) as f64;
+        counts.into_iter().map(|c| c as f64 / n).collect()
+    }
+}
+
+/// The symbolic database `D_SYB` (Def 3.3, Table I): a set of symbolic
+/// series aligned on a common clock.
+///
+/// All series share the same number of steps, start time and step duration,
+/// so step `i` of every series describes the same wall-clock interval
+/// `[start + i·step, start + (i+1)·step)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymbolicDatabase {
+    series: Vec<SymbolicSeries>,
+    start: i64,
+    step: i64,
+    n_steps: usize,
+}
+
+impl SymbolicDatabase {
+    /// Creates an empty database on the given clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0`.
+    pub fn new(start: i64, step: i64, n_steps: usize) -> Self {
+        assert!(step > 0, "step must be positive");
+        SymbolicDatabase {
+            series: Vec::new(),
+            start,
+            step,
+            n_steps,
+        }
+    }
+
+    /// Symbolizes and adds a raw time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series clock or length disagrees with the database.
+    pub fn add_time_series(
+        &mut self,
+        ts: &TimeSeries,
+        symbolizer: &dyn Symbolizer,
+    ) -> VariableId {
+        assert_eq!(ts.start(), self.start, "series start mismatch");
+        assert_eq!(ts.step(), self.step, "series step mismatch");
+        self.push(SymbolicSeries::from_time_series(ts, symbolizer))
+    }
+
+    /// Adds an already-symbolic series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length disagrees with the database.
+    pub fn push(&mut self, series: SymbolicSeries) -> VariableId {
+        assert_eq!(
+            series.len(),
+            self.n_steps,
+            "series {} has {} steps, database expects {}",
+            series.name(),
+            series.len(),
+            self.n_steps,
+        );
+        let id = VariableId(self.series.len() as u32);
+        self.series.push(series);
+        id
+    }
+
+    /// Number of variables.
+    pub fn n_variables(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of time steps per series.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Timestamp of step 0.
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Step duration in ticks.
+    pub fn step(&self) -> i64 {
+        self.step
+    }
+
+    /// Timestamp at which step `i` begins.
+    pub fn time_at(&self, i: usize) -> i64 {
+        self.start + self.step * i as i64
+    }
+
+    /// The series of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn series(&self, id: VariableId) -> &SymbolicSeries {
+        &self.series[id.0 as usize]
+    }
+
+    /// Iterates over `(id, series)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VariableId, &SymbolicSeries)> {
+        self.series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (VariableId(i as u32), s))
+    }
+
+    /// Finds a variable by name.
+    pub fn lookup(&self, name: &str) -> Option<VariableId> {
+        self.series
+            .iter()
+            .position(|s| s.name() == name)
+            .map(|i| VariableId(i as u32))
+    }
+
+    /// Returns a copy restricted to the given variables, preserving order.
+    /// Used by A-HTPGM to mine only the correlated subset `X_C` and by the
+    /// Fig 12/13 attribute-scalability experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn project(&self, vars: &[VariableId]) -> SymbolicDatabase {
+        SymbolicDatabase {
+            series: vars
+                .iter()
+                .map(|v| self.series[v.0 as usize].clone())
+                .collect(),
+            start: self.start,
+            step: self.step,
+            n_steps: self.n_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolizer::ThresholdSymbolizer;
+
+    fn db_with(names: &[&str], rows: &[&str]) -> SymbolicDatabase {
+        let mut db = SymbolicDatabase::new(0, 5, rows[0].len());
+        for (name, row) in names.iter().zip(rows) {
+            let labels: Vec<String> = row
+                .chars()
+                .map(|c| if c == '1' { "On".into() } else { "Off".into() })
+                .collect();
+            db.push(SymbolicSeries::from_labels(*name, Alphabet::on_off(), labels));
+        }
+        db
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let db = db_with(&["K", "T"], &["1100", "0110"]);
+        assert_eq!(db.n_variables(), 2);
+        assert_eq!(db.lookup("T"), Some(VariableId(1)));
+        assert_eq!(db.lookup("Z"), None);
+        assert_eq!(db.series(VariableId(0)).name(), "K");
+    }
+
+    #[test]
+    #[should_panic(expected = "steps")]
+    fn mismatched_length_panics() {
+        let mut db = SymbolicDatabase::new(0, 5, 4);
+        db.push(SymbolicSeries::from_labels(
+            "K",
+            Alphabet::on_off(),
+            ["On", "Off"],
+        ));
+    }
+
+    #[test]
+    fn add_time_series_symbolizes() {
+        let mut db = SymbolicDatabase::new(0, 5, 4);
+        let ts = TimeSeries::new("k", 0, 5, vec![1.61, 1.21, 0.41, 0.0]);
+        let id = db.add_time_series(&ts, &ThresholdSymbolizer::new(0.5));
+        let s = db.series(id);
+        let labels: Vec<&str> = s.symbols().iter().map(|&x| s.alphabet().label(x)).collect();
+        assert_eq!(labels, vec!["On", "On", "Off", "Off"]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let db = db_with(&["K"], &["110010"]);
+        let p = db.series(VariableId(0)).symbol_probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12); // three Ons out of six
+    }
+
+    #[test]
+    fn project_preserves_order_and_clock() {
+        let db = db_with(&["A", "B", "C"], &["10", "01", "11"]);
+        let sub = db.project(&[VariableId(2), VariableId(0)]);
+        assert_eq!(sub.n_variables(), 2);
+        assert_eq!(sub.series(VariableId(0)).name(), "C");
+        assert_eq!(sub.series(VariableId(1)).name(), "A");
+        assert_eq!(sub.step(), db.step());
+    }
+
+    #[test]
+    fn time_at_follows_clock() {
+        let db = SymbolicDatabase::new(600, 5, 36);
+        assert_eq!(db.time_at(0), 600);
+        assert_eq!(db.time_at(35), 600 + 35 * 5);
+    }
+}
