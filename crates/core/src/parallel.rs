@@ -15,9 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use ftpm_events::{EventId, SequenceDatabase};
 
 use crate::config::MinerConfig;
-use crate::exact::{
-    extend_node, verify_pair, GrowContext, PairRelations, WorkNode, MAX_EVENTS_HARD_CAP,
-};
+use crate::exact::{verify_pair, GrowContext, PairRelations, WorkNode, MAX_EVENTS_HARD_CAP};
 use crate::hpg::HierarchicalPatternGraph;
 use crate::index::DatabaseIndex;
 use crate::result::{FrequentPattern, MiningResult, MiningStats};

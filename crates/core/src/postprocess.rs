@@ -122,7 +122,7 @@ pub fn pattern_lift(result: &MiningResult, fp: &FrequentPattern) -> Option<f64> 
 
 /// The `k` most interesting patterns by lift (ties broken by support then
 /// confidence), longest-first among equals.
-pub fn top_k_by_lift<'a>(result: &'a MiningResult, k: usize) -> Vec<(&'a FrequentPattern, f64)> {
+pub fn top_k_by_lift(result: &MiningResult, k: usize) -> Vec<(&FrequentPattern, f64)> {
     let mut scored: Vec<(&FrequentPattern, f64)> = result
         .patterns
         .iter()

@@ -92,7 +92,7 @@ pub fn generate_city(cfg: &CityConfig) -> Vec<TimeSeries> {
                 let driver = if s == 0 { factor[0] } else { factor[s - 1] };
                 let extremeness = (driver.abs() - 2.0).max(0.0);
                 let base: f64 = rng.gen_range(0.0..2.0);
-                (base + 3.0 * extremeness + rng.gen_range(0.0..0.5)).floor()
+                (base + 3.0 * extremeness + rng.gen_range(0.0f64..0.5)).floor()
             })
             .collect();
         out.push(TimeSeries::new(

@@ -45,9 +45,9 @@ impl Default for EnergyConfig {
 
 /// Generates appliance power-draw time series (watts).
 ///
-/// Each group of appliances has one or two characteristic activation
-/// times per day (a "morning routine" around 06:30 and/or an "evening
-/// routine" around 18:00, with per-day jitter). During an activation,
+/// Each group of appliances has two characteristic activation times per
+/// day in distinct occupancy blocks (e.g. a "morning routine" around
+/// 06:30 plus a midday one, with per-day jitter). During an activation,
 /// participating appliances switch on in a staggered cascade — the first
 /// member contains or overlaps the later ones — which is exactly the kind
 /// of structure the paper's example patterns (P1–P11) describe. Off
@@ -61,29 +61,45 @@ pub fn generate_energy(cfg: &EnergyConfig) -> Vec<TimeSeries> {
     let n_groups = cfg.n_appliances.div_ceil(cfg.group_size);
 
     // The household has a shared daily rhythm: activity happens inside
-    // three occupancy blocks (morning / midday / evening) and nothing
-    // runs overnight. Every group draws its routine anchors inside one
-    // or two of these blocks. This layering mirrors real smart-home
-    // data and gives the MI structure A-HTPGM relies on: same-group
-    // pairs correlate most, same-block pairs moderately, and the shared
+    // three occupancy blocks (morning / afternoon / evening) and nothing
+    // runs overnight. Every group draws its routine anchors inside two
+    // of these blocks. This layering mirrors real smart-home data and
+    // gives the MI structure A-HTPGM relies on: same-group pairs
+    // correlate most, same-block pairs moderately, and the shared
     // off-hours keep co-occurring events and correlated series aligned.
+    // The blocks deliberately sit in distinct quarters of the day: with
+    // the common 6-hour analysis window, a group whose two blocks share
+    // a window can never exceed ~25% relative support no matter how
+    // tightly its appliances correlate.
     const BLOCKS: [(i64, i64); 3] = [
         (6 * 60, 9 * 60),
-        (11 * 60 + 30, 13 * 60 + 30),
-        (17 * 60, 22 * 60),
+        (13 * 60, 16 * 60),
+        (18 * 60, 22 * 60),
     ];
-    struct Routine {
-        anchors: Vec<i64>,
-    }
-    let routines: Vec<Routine> = (0..n_groups)
+    // Two anchors per group, in distinct occupancy blocks. Both are
+    // always present: a routine firing only once per day sits in 1 of
+    // the 4 daily 6-hour windows (~25% relative support, before the
+    // participation draw), which is below any useful σ and would leave
+    // group structure undetectable — two anchors keep within-group
+    // co-occurrence around 40% of windows. Anchors stay at least the
+    // maximal day jitter (15) above the block's lower edge: the edges
+    // coincide with 6-hour window boundaries, and an activation pushed
+    // across a boundary gets its starts clipped to the window edge,
+    // destroying the Contain relation the cascade is built to produce.
+    let routines: Vec<[i64; 2]> = (0..n_groups)
         .map(|g| {
+            // Rotate block pairs so consecutive groups share at most one
+            // block: g=0 → {morning, afternoon}, g=1 → {afternoon,
+            // evening}, g=2 → {evening, morning}. (A formula that hands
+            // two groups the same pair makes their leaders — both
+            // long-running and anchored in the same narrow ranges —
+            // correlate more strongly across groups than within.)
             let block = BLOCKS[g % BLOCKS.len()];
-            let mut anchors = vec![rng.gen_range(block.0..block.1 - 90)];
-            if rng.gen_bool(0.5) {
-                let block2 = BLOCKS[(g + 1 + (g % 2)) % BLOCKS.len()];
-                anchors.push(rng.gen_range(block2.0..block2.1 - 90));
-            }
-            Routine { anchors }
+            let block2 = BLOCKS[(g + 1) % BLOCKS.len()];
+            [
+                rng.gen_range(block.0 + 15..block.1 - 90),
+                rng.gen_range(block2.0 + 15..block2.1 - 90),
+            ]
         })
         .collect();
 
@@ -99,22 +115,48 @@ pub fn generate_energy(cfg: &EnergyConfig) -> Vec<TimeSeries> {
     };
 
     for day in 0..cfg.days {
-        for (g, routine) in routines.iter().enumerate() {
-            for &anchor in &routine.anchors {
+        for (g, anchors) in routines.iter().enumerate() {
+            for &anchor in anchors {
                 // Day-level jitter of the routine as a whole.
-                let jitter = rng.gen_range(-15..=15);
+                let jitter = rng.gen_range(-15i64..=15);
                 let members = (g * cfg.group_size)
                     ..((g + 1) * cfg.group_size).min(cfg.n_appliances);
+                // Staggered nested cascade: whoever participates first
+                // becomes the leader; every later member starts strictly
+                // after the previous one and ends strictly inside the
+                // leader's interval, so the leader Contains every
+                // follower. Keeping the relation type fixed matters: if
+                // followers could start before the leader or outlive it,
+                // each activation would randomly land on Contain or
+                // Overlap and the per-relation support of the group
+                // pattern would drop to roughly half the group's
+                // co-occurrence rate.
+                let mut outer_end: Option<i64> = None;
+                let mut last_start = i64::MIN;
                 for (rank, appliance) in members.enumerate() {
                     if !rng.gen_bool(cfg.participation) {
                         continue;
                     }
-                    // Staggered cascade: member `rank` starts a bit after
-                    // the group leader and runs for a shorter time, so the
-                    // leader Contains / Overlaps the others.
-                    let start = anchor + jitter + (rank as i64) * rng.gen_range(5..=15);
-                    let dur = rng.gen_range(15..=90) - (rank as i64) * 5;
-                    turn_on(&mut on, appliance, day, start, dur.max(10));
+                    // Each per-rank step is drawn independently, so clamp
+                    // against the previous participant: a later rank must
+                    // never start at or before an earlier one (equal or
+                    // inverted starts have no relation under ε = 0).
+                    let start = (anchor + jitter + (rank as i64) * rng.gen_range(5i64..=15))
+                        .max(last_start + 5);
+                    last_start = start;
+                    let mut dur = rng.gen_range(15i64..=90) - (rank as i64) * 5;
+                    match outer_end {
+                        None => {
+                            // The leader runs long enough that the last
+                            // member (staggered by at most 15 ticks per
+                            // rank) still fits inside with room to spare,
+                            // whatever the configured group size.
+                            dur = dur.max(15 * cfg.group_size as i64 + 15);
+                            outer_end = Some(start + dur);
+                        }
+                        Some(end) => dur = dur.clamp(10, (end - start - 2).max(10)),
+                    }
+                    turn_on(&mut on, appliance, day, start, dur);
                 }
             }
         }

@@ -164,6 +164,8 @@ fn nmi_matrix(db: &SymbolicDatabase) -> Vec<Vec<f64>> {
 fn mu_from_matrix(nmi: &[Vec<f64>], density: f64) -> f64 {
     let n = nmi.len();
     let mut weights = Vec::with_capacity(n * (n - 1) / 2);
+    // Symmetric (i, j)/(j, i) access — an enumerate() rewrite obscures it.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in (i + 1)..n {
             weights.push(nmi[i][j].min(nmi[j][i]));

@@ -1,0 +1,300 @@
+//! Minimal, API-compatible subset of `criterion` for offline builds.
+//!
+//! Implements the configuration/builder surface the workspace's benches
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `iter`, `iter_batched`) with a simple but
+//! honest measurement loop: per sample, the routine runs enough iterations
+//! to cover ~1ms, and the reported figure is the median over
+//! `sample_size` samples after a warm-up. No statistics engine, plots, or
+//! baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        let config = self.config;
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            config,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.to_string(), self.config, None, &mut routine);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.config, self.throughput, &mut routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.config, self.throughput, &mut |b: &mut Bencher| {
+            routine(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    config: Config,
+    /// Median seconds per iteration, filled by `iter`/`iter_batched`.
+    median_secs: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate iterations per sample to roughly 1ms.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let warm_until = Instant::now() + self.config.warm_up_time.min(Duration::from_millis(500));
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+
+        let budget = Instant::now() + self.config.measurement_time;
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+            if Instant::now() > budget {
+                break;
+            }
+        }
+        self.median_secs = median(&mut samples);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_input = setup();
+        black_box(routine(warm_input));
+
+        let budget = Instant::now() + self.config.measurement_time;
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64());
+            if Instant::now() > budget {
+                break;
+            }
+        }
+        self.median_secs = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    samples[samples.len() / 2]
+}
+
+fn run_benchmark(
+    label: &str,
+    config: Config,
+    throughput: Option<Throughput>,
+    routine: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        config,
+        median_secs: 0.0,
+    };
+    routine(&mut bencher);
+    let time = format_secs(bencher.median_secs);
+    match throughput {
+        Some(Throughput::Elements(n)) if bencher.median_secs > 0.0 => {
+            let rate = n as f64 / bencher.median_secs;
+            println!("  {label:<50} {time:>12}  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if bencher.median_secs > 0.0 => {
+            let rate = n as f64 / bencher.median_secs / (1024.0 * 1024.0);
+            println!("  {label:<50} {time:>12}  ({rate:.1} MiB/s)");
+        }
+        _ => println!("  {label:<50} {time:>12}"),
+    }
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Expands to a function running every listed target, in both the plain
+/// `criterion_group!(name, targets...)` and the `name/config/targets`
+/// struct-ish form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

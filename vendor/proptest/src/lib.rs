@@ -1,0 +1,203 @@
+//! Minimal, API-compatible subset of `proptest` for offline builds.
+//!
+//! Provides the surface the workspace's property tests use: the
+//! `proptest!` macro, range strategies over integers and floats,
+//! `collection::vec`, and the `prop_assert*` / `prop_assume!` macros.
+//! Unlike real proptest there is no shrinking and no persistence; each
+//! property runs over a fixed number of deterministically sampled cases
+//! (the first cases cover range endpoints, so boundaries are always hit).
+
+use std::ops::Range;
+
+/// Cases per property. Matches real proptest's default magnitude while
+/// keeping the whole suite fast.
+pub const CASES: usize = 256;
+
+/// Deterministic generator behind every strategy (SplitMix64).
+pub struct TestRng {
+    state: u64,
+    /// Index of the current case, used by range strategies to force
+    /// endpoint coverage on the first samples.
+    pub case: usize,
+}
+
+impl TestRng {
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x9E37_79B9_7F4A_7C15,
+            case: 0,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of values for one proptest argument.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // First two cases pin the endpoints.
+                match rng.case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                match rng.case {
+                    0 => self.start,
+                    _ => self.start + (self.end - self.start) * (rng.unit_f64() as $t),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element_strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = match rng.case {
+                0 => self.len.start,
+                1 => self.len.end - 1,
+                _ => self.len.start + (rng.next_u64() % span) as usize,
+            };
+            // Element generation must not see the length-pinning cases, or
+            // every element of the first two vectors would be an endpoint.
+            let case = rng.case;
+            rng.case = usize::MAX;
+            let out = (0..n).map(|_| self.element.generate(rng)).collect();
+            rng.case = case;
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Strategy, TestRng};
+}
+
+/// Runs each `fn name(arg in strategy, ...) { body }` as a `#[test]` over
+/// [`CASES`] deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic();
+                for case in 0..$crate::CASES {
+                    rng.case = case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition (real proptest rejects and resamples; skipping is
+/// equivalent here because cases are independent).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3i64..10, y in 0.5f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_in_bounds(v in collection::vec(0u16..4, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn assume_skips(x in 0i64..4) {
+            prop_assume!(x != 0);
+            prop_assert!(x != 0);
+        }
+    }
+}

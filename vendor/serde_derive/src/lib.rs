@@ -1,0 +1,309 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! syn/quote are unavailable offline, so the input item is parsed directly
+//! from the raw `TokenStream` and the impls are emitted as source text.
+//! Supported shapes — which cover every derive site in this workspace:
+//! non-generic named-field structs (with `#[serde(skip)]`), tuple structs,
+//! and fieldless enums. Anything else panics with a clear message so the
+//! gap is visible at compile time rather than producing a wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// (name, fields); each field is (ident, skip).
+    NamedStruct(String, Vec<(String, bool)>),
+    /// (name, field count).
+    TupleStruct(String, usize),
+    /// (name, variant names).
+    FieldlessEnum(String, Vec<String>),
+}
+
+/// True when a `#[...]` attribute body is `serde(skip)`.
+fn is_skip_attr(stream: TokenStream) -> bool {
+    let text: String = stream.to_string().split_whitespace().collect();
+    text == "serde(skip)"
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let kind;
+    // Header: attributes and visibility, then `struct` or `enum`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Consume a `(crate)`-style restriction if present.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = id.to_string();
+                break;
+            }
+            other => panic!("serde shim derive: unexpected token in item header: {other:?}"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic type `{name}` is not supported")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Item::NamedStruct(name, parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+            Item::TupleStruct(name, count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Item::FieldlessEnum(name, parse_fieldless_variants(g.stream()))
+        }
+        other => panic!("serde shim derive: unsupported item body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        // Field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        skip |= is_skip_attr(g.stream());
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break; // end of fields (or trailing comma already consumed)
+        };
+        fields.push((id.to_string(), skip));
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_fieldless_variants(stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Variant attributes (doc comments etc.).
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            iter.next();
+            iter.next(); // the [...] group
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        let variant = id.to_string();
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => panic!(
+                "serde shim derive: enum variant `{variant}` carries data, which is not supported"
+            ),
+            other => panic!("serde shim derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .filter(|(_, skip)| !skip)
+                .map(|(f, _)| {
+                    format!("(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct(name, n) => {
+            let entries: String = (0..n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::FieldlessEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(String::from(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|(f, skip)| {
+                    if *skip {
+                        format!("{f}: Default::default(),")
+                    } else {
+                        format!("{f}: serde::Deserialize::from_value(v.field(\"{f}\")?)?,")
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         Ok({name} {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct(name, n) => {
+            let entries: String = (0..n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Array(items) if items.len() == {n} =>\n\
+                                 Ok({name}({entries})),\n\
+                             other => Err(serde::Error::new(format!(\n\
+                                 \"expected array of {n}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::FieldlessEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(serde::Error::new(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(serde::Error::new(format!(\n\
+                                 \"expected string, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated impl must parse")
+}
