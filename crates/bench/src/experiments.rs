@@ -4,7 +4,11 @@
 //! the paper's (see DESIGN.md "Substitutions"); pass a larger scale as
 //! the first CLI argument to push towards the full size.
 
-use ftpm_core::{mine_approximate_with_density, mine_exact, MinerConfig, PruningConfig};
+use ftpm_core::{
+    mine_approximate_with_density, mine_exact, mine_exact_parallel_with_sink,
+    mine_exact_with_sink, CollectSink, CountingSink, JsonlSink, MinerConfig, PatternSink,
+    PruningConfig,
+};
 use ftpm_datagen::{dataport_like, nist_like, smartcity_like, ukdale_like, Dataset};
 
 use crate::alloc_track::measure_peak;
@@ -340,6 +344,94 @@ pub fn fig1213(opts: &Opts, city: bool) {
         opts.scale
     );
     scalability(name, &data, opts, false);
+}
+
+/// Threads scaling (beyond the paper): E-HTPGM wall clock and speedup as
+/// the worker count grows — the `--threads` path of the CLI. Verifies
+/// that the sharded miner finds the same number of patterns at every
+/// thread count.
+pub fn threads_scaling(opts: &Opts) {
+    println!("Threads scaling: parallel E-HTPGM (scale {})\n", opts.scale);
+    let datasets = [nist_like(opts.scale), ukdale_like(opts.scale)];
+    let mut report = Report::new(
+        "threads",
+        &["dataset", "threads", "seconds", "patterns", "speedup"],
+    );
+    for data in &datasets {
+        let cfg = config(0.4, 0.4, opts);
+        let mut base: Option<(f64, usize)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let (r, elapsed) = time(|| Method::EHtpgmPar(threads).run(data, &cfg));
+            let (base_secs, base_patterns) =
+                *base.get_or_insert((elapsed.as_secs_f64(), r.len()));
+            assert_eq!(
+                r.len(),
+                base_patterns,
+                "{}: {threads}-thread run diverged from single-threaded pattern count",
+                data.name
+            );
+            report.row(vec![
+                data.name.clone(),
+                threads.to_string(),
+                secs(elapsed),
+                r.len().to_string(),
+                format!("{:.2}", base_secs / elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+    report.finish();
+}
+
+/// Output-path memory (extends Table VIII): peak heap of one E-HTPGM run
+/// when the patterns are collected into a `MiningResult`, only counted,
+/// or streamed to a JSONL writer — the sink architecture's memory story.
+pub fn sink_memory(opts: &Opts) {
+    println!(
+        "Sink memory: collect vs count vs stream output paths (scale {})\n",
+        opts.scale
+    );
+    let data = nist_like(opts.scale);
+    let cfg = config(0.4, 0.4, opts);
+    let mut report = Report::new(
+        "sink_memory",
+        &["dataset", "path", "threads", "peak_mb", "patterns"],
+    );
+    let mb = |bytes: usize| format!("{:.2}", bytes as f64 / (1024.0 * 1024.0));
+    // Collect: the classic MiningResult vector.
+    let (n, peak) = measure_peak(|| {
+        let mut sink = CollectSink::new();
+        let stats = mine_exact_with_sink(&data.seq, &cfg, &mut sink);
+        sink.into_result(stats).len()
+    });
+    report.row(vec![data.name.clone(), "collect".into(), "1".into(), mb(peak), n.to_string()]);
+    // Count: stats only, nothing retained.
+    let (n, peak) = measure_peak(|| {
+        let mut sink = CountingSink::default();
+        mine_exact_with_sink(&data.seq, &cfg, &mut sink);
+        sink.patterns()
+    });
+    report.row(vec![data.name.clone(), "count".into(), "1".into(), mb(peak), n.to_string()]);
+    // Stream: every pattern serialized to a JSONL writer, none retained.
+    for threads in [1usize, 2] {
+        let (n, peak) = measure_peak(|| {
+            let mut sink = JsonlSink::new(std::io::sink(), data.seq.registry());
+            if threads > 1 {
+                mine_exact_parallel_with_sink(&data.seq, &cfg, threads, &mut sink);
+            } else {
+                mine_exact_with_sink(&data.seq, &cfg, &mut sink);
+            }
+            sink.finish().expect("io::sink never fails");
+            sink.written()
+        });
+        report.row(vec![
+            data.name.clone(),
+            "stream-jsonl".into(),
+            threads.to_string(),
+            mb(peak),
+            n.to_string(),
+        ]);
+    }
+    report.finish();
 }
 
 fn scalability(name: &str, data: &Dataset, opts: &Opts, by_sequences: bool) {

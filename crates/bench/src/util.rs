@@ -21,6 +21,9 @@ pub enum Method {
     IEMiner,
     TPMiner,
     EHtpgm,
+    /// Multi-threaded E-HTPGM with this many worker threads — the
+    /// `--threads` path of the CLI, for the threads-scaling experiment.
+    EHtpgmPar(usize),
     /// A-HTPGM keeping this fraction of correlation-graph edges
     /// (Def 5.6; the paper's "A-HTPGM (80%)" etc.).
     AHtpgm(f64),
@@ -48,6 +51,7 @@ impl Method {
             Method::IEMiner => "IEMiner".into(),
             Method::TPMiner => "TPMiner".into(),
             Method::EHtpgm => "E-HTPGM".into(),
+            Method::EHtpgmPar(threads) => format!("E-HTPGM ({threads}thr)"),
             Method::AHtpgm(d) => format!("A-HTPGM ({:.0}%)", d * 100.0),
         }
     }
@@ -59,6 +63,9 @@ impl Method {
             Method::IEMiner => ftpm_baselines::mine_ieminer(&data.seq, cfg),
             Method::TPMiner => ftpm_baselines::mine_tpminer(&data.seq, cfg),
             Method::EHtpgm => ftpm_core::mine_exact(&data.seq, cfg),
+            Method::EHtpgmPar(threads) => {
+                ftpm_core::mine_exact_parallel(&data.seq, cfg, *threads)
+            }
             Method::AHtpgm(density) => {
                 ftpm_core::mine_approximate_with_density(&data.syb, &data.seq, *density, cfg)
                     .result

@@ -18,6 +18,7 @@ use ftpm_timeseries::{SymbolicDatabase, VariableId};
 use crate::config::MinerConfig;
 use crate::exact::{mine_internal, CorrelationFilter};
 use crate::result::MiningResult;
+use crate::sink::CollectSink;
 
 /// Output of an approximate mining run: the mining result plus the
 /// correlation structures, so callers can inspect what was pruned.
@@ -76,7 +77,9 @@ fn mine_with_graph(
                 graph.has_edge(registry.variable(ei), registry.variable(ej))
             }),
         };
-        mine_internal(seq_db, cfg, Some(&filter))
+        let mut sink = CollectSink::new();
+        let stats = mine_internal(seq_db, cfg, Some(&filter), &mut sink);
+        sink.into_result(stats)
     };
     ApproxOutcome {
         result,
@@ -172,7 +175,9 @@ pub fn mine_approximate_event_level(
                 graph.has_edge(VariableId(ei.0), VariableId(ej.0))
             }),
         };
-        mine_internal(seq_db, cfg, Some(&filter))
+        let mut sink = CollectSink::new();
+        let stats = mine_internal(seq_db, cfg, Some(&filter), &mut sink);
+        sink.into_result(stats)
     };
     ApproxOutcome {
         result,

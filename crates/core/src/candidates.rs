@@ -1,0 +1,275 @@
+//! Shared candidate engine: the Apriori support/confidence gates
+//! (Lemmas 2–3) and the L2 pair-verification step, in one place.
+//!
+//! Both [`crate::mine_exact`] and [`crate::mine_exact_parallel`] drive
+//! this engine for candidate generation, and level-`k` growth reuses the
+//! same gates, so the thresholds — including the confidence tolerance
+//! [`CONF_EPS`] — are applied identically everywhere. (Historically the
+//! parallel miner carried its own hard-coded epsilon at the L2 gate,
+//! which is exactly the kind of drift this module exists to prevent.)
+
+use ftpm_bitmap::Bitmap;
+use ftpm_events::{EventId, SequenceDatabase, TemporalRelation};
+
+use crate::config::MinerConfig;
+use crate::index::DatabaseIndex;
+use crate::pattern::Pattern;
+use crate::result::MiningStats;
+
+/// Tolerance for `conf >= delta` comparisons, so that thresholds like 0.7
+/// accept patterns whose confidence is exactly 0.7 up to floating noise.
+pub(crate) const CONF_EPS: f64 = 1e-9;
+
+/// Final σ/δ check on a verified candidate: returns the confidence iff
+/// `support ≥ sigma_abs` and `support / max_supp ≥ delta − CONF_EPS`.
+#[inline]
+pub(crate) fn passes_thresholds(
+    support: usize,
+    max_supp: usize,
+    sigma_abs: usize,
+    delta: f64,
+) -> Option<f64> {
+    if support < sigma_abs {
+        return None;
+    }
+    let confidence = support as f64 / max_supp as f64;
+    if confidence + CONF_EPS < delta {
+        return None;
+    }
+    Some(confidence)
+}
+
+/// The Apriori gate (Lemmas 2–3) on a candidate event combination: true
+/// iff the candidate must proceed to instance verification. With Apriori
+/// pruning off, only empty joint bitmaps are skipped (and not counted as
+/// pruned — nothing to scan either way).
+#[inline]
+pub(crate) fn apriori_gate(
+    cfg: &MinerConfig,
+    sigma_abs: usize,
+    joint_supp: usize,
+    max_supp: usize,
+    stats: &mut MiningStats,
+) -> bool {
+    if !cfg.pruning.apriori {
+        return joint_supp > 0;
+    }
+    // Lemma 2: supp(P) <= supp(E_1, …, E_k).
+    if joint_supp < sigma_abs {
+        stats.apriori_pruned += 1;
+        return false;
+    }
+    // Lemma 3: conf(P) <= conf(E_1, …, E_k).
+    if (joint_supp as f64 / max_supp as f64) + CONF_EPS < cfg.delta {
+        stats.apriori_pruned += 1;
+        return false;
+    }
+    true
+}
+
+/// Working data of one frequent pattern during mining: its occurrence
+/// bindings are needed to grow the next level, then dropped.
+pub(crate) struct WorkPattern {
+    pub(crate) pattern: Pattern,
+    pub(crate) support: usize,
+    pub(crate) confidence: f64,
+    /// `(sequence, instance indices)` — each tuple lists the bound
+    /// instances in chronological order.
+    pub(crate) occurrences: Vec<(u32, Vec<u32>)>,
+}
+
+/// Working node: event combination + joint bitmap + patterns.
+pub(crate) struct WorkNode {
+    pub(crate) events: Vec<EventId>,
+    pub(crate) bitmap: Bitmap,
+    pub(crate) support: usize,
+    pub(crate) patterns: Vec<WorkPattern>,
+}
+
+/// Dense `events × events` table of frequent 2-event relations: 3 bits
+/// per ordered pair, bit `r` set iff `(E_i, r, E_j)` is a frequent,
+/// high-confidence 2-event pattern.
+pub(crate) struct PairRelations {
+    masks: Vec<u8>,
+    n_events: usize,
+}
+
+impl PairRelations {
+    pub(crate) fn new(n_events: usize) -> Self {
+        PairRelations {
+            masks: vec![0; n_events * n_events],
+            n_events,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, ei: EventId, r: TemporalRelation, ej: EventId) {
+        self.masks[ei.0 as usize * self.n_events + ej.0 as usize] |= 1 << r.index();
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, ei: EventId, r: TemporalRelation, ej: EventId) -> bool {
+        self.masks[ei.0 as usize * self.n_events + ej.0 as usize] & (1 << r.index()) != 0
+    }
+
+    /// True iff `ei` forms at least one frequent relation with `ek` —
+    /// the per-node Lemma 5 test.
+    #[inline]
+    pub(crate) fn any(&self, ei: EventId, ek: EventId) -> bool {
+        self.masks[ei.0 as usize * self.n_events + ek.0 as usize] != 0
+    }
+}
+
+/// The L2 candidate engine: gates one ordered event pair through Apriori
+/// pruning and verifies the survivors on instances. One instance is
+/// shared by every L2 code path (sequential loop, parallel shards).
+pub(crate) struct L2Engine<'a> {
+    pub(crate) db: &'a SequenceDatabase,
+    pub(crate) index: &'a DatabaseIndex,
+    pub(crate) cfg: &'a MinerConfig,
+    pub(crate) sigma_abs: usize,
+}
+
+impl L2Engine<'_> {
+    /// Runs one ordered candidate pair `(ei, ej)` end to end: Apriori
+    /// gate, then instance verification. `stats.nodes_verified[0]` counts
+    /// the pairs that reach verification.
+    pub(crate) fn try_pair(
+        &self,
+        ei: EventId,
+        ej: EventId,
+        stats: &mut MiningStats,
+    ) -> Option<WorkNode> {
+        let joint = self.index.bitmap(ei).and(self.index.bitmap(ej));
+        let joint_supp = joint.count_ones();
+        let max_supp = self.index.support(ei).max(self.index.support(ej));
+        if !apriori_gate(self.cfg, self.sigma_abs, joint_supp, max_supp, stats) {
+            return None;
+        }
+        stats.nodes_verified[0] += 1;
+        self.verify_pair(ei, ej, &joint, max_supp, stats)
+    }
+
+    /// Step 2.2: verify the instance pairs of one candidate event pair
+    /// and collect its frequent relations.
+    fn verify_pair(
+        &self,
+        ei: EventId,
+        ej: EventId,
+        joint: &Bitmap,
+        max_supp: usize,
+        stats: &mut MiningStats,
+    ) -> Option<WorkNode> {
+        let n_seqs = self.db.len();
+        // One accumulator per relation type.
+        let mut bitmaps = [
+            Bitmap::new(n_seqs),
+            Bitmap::new(n_seqs),
+            Bitmap::new(n_seqs),
+        ];
+        let mut occs: [Vec<(u32, Vec<u32>)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+
+        for seq_id in joint.iter_ones() {
+            let seq = &self.db.sequences()[seq_id];
+            for &ii in self.index.instances_in(seq_id, ei) {
+                let inst_i = &seq.instances()[ii as usize];
+                for &jj in self.index.instances_in(seq_id, ej) {
+                    let inst_j = &seq.instances()[jj as usize];
+                    // The node (Ei, Ej) binds Ei to the chronologically first
+                    // instance; the opposite order belongs to node (Ej, Ei).
+                    if inst_i.chrono_key() >= inst_j.chrono_key() {
+                        continue;
+                    }
+                    stats.instance_checks += 1;
+                    // Maximal-duration constraint (Section III-C). We use the
+                    // monotone reading — the whole occurrence must fit inside
+                    // a t_max window — so that every prefix of a valid
+                    // occurrence is itself valid and level-wise growth stays
+                    // complete (see DESIGN.md).
+                    let max_end = inst_i.interval.end.max(inst_j.interval.end);
+                    if !self
+                        .cfg
+                        .relation
+                        .within_t_max(inst_i.interval.start, max_end)
+                    {
+                        continue;
+                    }
+                    if let Some(r) = self.cfg.relation.relate(&inst_i.interval, &inst_j.interval)
+                    {
+                        bitmaps[r.index()].set(seq_id);
+                        occs[r.index()].push((seq_id as u32, vec![ii, jj]));
+                    }
+                }
+            }
+        }
+
+        let mut node_patterns = Vec::new();
+        for r in TemporalRelation::ALL {
+            let support = bitmaps[r.index()].count_ones();
+            let Some(confidence) =
+                passes_thresholds(support, max_supp, self.sigma_abs, self.cfg.delta)
+            else {
+                continue;
+            };
+            node_patterns.push(WorkPattern {
+                pattern: Pattern::pair(ei, r, ej),
+                support,
+                confidence,
+                occurrences: std::mem::take(&mut occs[r.index()]),
+            });
+        }
+        if node_patterns.is_empty() {
+            return None; // a "brown" node: frequent pair, no frequent pattern.
+        }
+        Some(WorkNode {
+            events: vec![ei, ej],
+            support: joint.count_ones(),
+            bitmap: joint.clone(),
+            patterns: node_patterns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_relations_dense_table() {
+        let mut t = PairRelations::new(4);
+        t.insert(EventId(1), TemporalRelation::Contain, EventId(3));
+        assert!(t.contains(EventId(1), TemporalRelation::Contain, EventId(3)));
+        assert!(!t.contains(EventId(1), TemporalRelation::Follow, EventId(3)));
+        assert!(!t.contains(EventId(3), TemporalRelation::Contain, EventId(1)));
+        assert!(t.any(EventId(1), EventId(3)));
+        assert!(!t.any(EventId(0), EventId(3)));
+    }
+
+    #[test]
+    fn thresholds_tolerate_float_noise() {
+        // 7/10 vs delta = 0.7: must pass despite floating representation.
+        assert!(passes_thresholds(7, 10, 1, 0.7).is_some());
+        assert!(passes_thresholds(6, 10, 1, 0.7).is_none());
+        assert!(passes_thresholds(7, 10, 8, 0.7).is_none());
+        let conf = passes_thresholds(3, 4, 1, 0.5).expect("passes");
+        assert!((conf - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apriori_gate_counts_pruned() {
+        let cfg = MinerConfig::new(0.5, 0.5);
+        let mut stats = MiningStats::default();
+        // Support below sigma: pruned.
+        assert!(!apriori_gate(&cfg, 5, 4, 8, &mut stats));
+        // Confidence bound below delta: pruned.
+        assert!(!apriori_gate(&cfg, 2, 3, 10, &mut stats));
+        // Survivor.
+        assert!(apriori_gate(&cfg, 2, 6, 8, &mut stats));
+        assert_eq!(stats.apriori_pruned, 2);
+        // Pruning off: only empty bitmaps are skipped, without counting.
+        let no_prune = MinerConfig::new(0.5, 0.5)
+            .with_pruning(crate::config::PruningConfig::NO_PRUNE);
+        assert!(!apriori_gate(&no_prune, 5, 0, 8, &mut stats));
+        assert!(apriori_gate(&no_prune, 5, 1, 8, &mut stats));
+        assert_eq!(stats.apriori_pruned, 2);
+    }
+}

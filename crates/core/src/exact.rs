@@ -14,6 +14,12 @@
 //! occurrence extension dies as soon as one of its new triples is not a
 //! frequent, high-confidence 2-event pattern (Lemmas 6–7).
 //!
+//! Candidate gating (the Apriori support/confidence bounds and the L2
+//! verification step) lives in [`crate::candidates`], shared with the
+//! parallel miner; output flows through a [`PatternSink`]
+//! (see [`crate::sink`]) so finished nodes can be collected, counted or
+//! streamed without materializing a global pattern `Vec`.
+//!
 //! Performance notes: frequent 2-event relations are kept as a dense
 //! `events × events` bitmask table (no hashing on the hot path), and the
 //! relation column of a candidate extension is packed into a `u64` (2
@@ -25,15 +31,13 @@ use std::collections::HashMap;
 use ftpm_bitmap::Bitmap;
 use ftpm_events::{EventId, SequenceDatabase, TemporalRelation};
 
+use crate::candidates::{
+    apriori_gate, passes_thresholds, L2Engine, PairRelations, WorkNode, WorkPattern,
+};
 use crate::config::MinerConfig;
-use crate::hpg::{HierarchicalPatternGraph, Level, Node};
 use crate::index::DatabaseIndex;
-use crate::pattern::Pattern;
 use crate::result::{FrequentPattern, MiningResult, MiningStats};
-
-/// Tolerance for `conf >= delta` comparisons, so that thresholds like 0.7
-/// accept patterns whose confidence is exactly 0.7 up to floating noise.
-const CONF_EPS: f64 = 1e-9;
+use crate::sink::{CollectSink, PatternSink};
 
 /// Patterns longer than this cannot pack their relation column into the
 /// u64 grouping key; in practice level-wise mining never gets anywhere
@@ -58,63 +62,32 @@ pub(crate) struct CorrelationFilter<'a> {
 ///
 /// See the crate-level example.
 pub fn mine_exact(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
-    mine_internal(db, cfg, None)
+    let mut sink = CollectSink::new();
+    let stats = mine_internal(db, cfg, None, &mut sink);
+    sink.into_result(stats)
+}
+
+/// Mines like [`mine_exact`], but emits each finished Hierarchical
+/// Pattern Graph node into `sink` instead of materializing a
+/// [`MiningResult`] — the full pattern result is never built up in
+/// memory. (Mining working state is still held while needed: all L2
+/// nodes exist at once during candidate generation, and a node's
+/// occurrence bindings live until its subtree is grown.) Returns the
+/// run statistics.
+///
+/// # Examples
+///
+/// See the [`crate::sink`] module docs.
+pub fn mine_exact_with_sink(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    sink: &mut dyn PatternSink,
+) -> MiningStats {
+    mine_internal(db, cfg, None, sink)
 }
 
 /// Occurrence accumulator: supporting-sequence bitmap + bound tuples.
 type OccAccum = (Bitmap, Vec<(u32, Vec<u32>)>);
-
-/// Working data of one frequent pattern during mining: its occurrence
-/// bindings are needed to grow the next level, then dropped.
-pub(crate) struct WorkPattern {
-    pub(crate) pattern: Pattern,
-    pub(crate) support: usize,
-    pub(crate) confidence: f64,
-    /// `(sequence, instance indices)` — each tuple lists the bound
-    /// instances in chronological order.
-    pub(crate) occurrences: Vec<(u32, Vec<u32>)>,
-}
-
-/// Working node: event combination + joint bitmap + patterns.
-pub(crate) struct WorkNode {
-    pub(crate) events: Vec<EventId>,
-    pub(crate) bitmap: Bitmap,
-    pub(crate) support: usize,
-    pub(crate) patterns: Vec<WorkPattern>,
-}
-
-/// Dense `events × events` table of frequent 2-event relations: 3 bits
-/// per ordered pair, bit `r` set iff `(E_i, r, E_j)` is a frequent,
-/// high-confidence 2-event pattern.
-pub(crate) struct PairRelations {
-    masks: Vec<u8>,
-    n_events: usize,
-}
-
-impl PairRelations {
-    pub(crate) fn new(n_events: usize) -> Self {
-        PairRelations {
-            masks: vec![0; n_events * n_events],
-            n_events,
-        }
-    }
-
-    pub(crate) fn insert(&mut self, ei: EventId, r: TemporalRelation, ej: EventId) {
-        self.masks[ei.0 as usize * self.n_events + ej.0 as usize] |= 1 << r.index();
-    }
-
-    #[inline]
-    fn contains(&self, ei: EventId, r: TemporalRelation, ej: EventId) -> bool {
-        self.masks[ei.0 as usize * self.n_events + ej.0 as usize] & (1 << r.index()) != 0
-    }
-
-    /// True iff `ei` forms at least one frequent relation with `ek` —
-    /// the per-node Lemma 5 test.
-    #[inline]
-    fn any(&self, ei: EventId, ek: EventId) -> bool {
-        self.masks[ei.0 as usize * self.n_events + ek.0 as usize] != 0
-    }
-}
 
 /// Packs a relation column into 2 bits per entry (values 1..=3 so the
 /// packing is injective for a fixed length).
@@ -137,12 +110,14 @@ pub(crate) fn mine_internal(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     corr: Option<&CorrelationFilter<'_>>,
-) -> MiningResult {
+    sink: &mut dyn PatternSink,
+) -> MiningStats {
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
     let index = DatabaseIndex::build(db);
     let mut stats = MiningStats::default();
+    stats.nodes_verified.push(0);
 
     // ---- L1: frequent single events (Alg. 1 lines 1–4) ----
     let freq_events: Vec<EventId> = db
@@ -151,14 +126,21 @@ pub(crate) fn mine_internal(
         .filter(|&e| corr.is_none_or(|c| c.allowed[e.0 as usize]))
         .filter(|&e| index.support(e) >= sigma_abs)
         .collect();
-
-    let mut patterns: Vec<FrequentPattern> = Vec::new();
-    let mut graph = HierarchicalPatternGraph::default();
+    let l1: Vec<(EventId, usize)> = freq_events
+        .iter()
+        .map(|&e| (e, index.support(e)))
+        .collect();
+    sink.begin(&l1);
 
     // ---- L2: frequent 2-event patterns (Alg. 1 lines 5–14) ----
+    let engine = L2Engine {
+        db,
+        index: &index,
+        cfg,
+        sigma_abs,
+    };
     let mut pair_relations = PairRelations::new(db.registry().len());
     let mut level_nodes: Vec<WorkNode> = Vec::new();
-    let mut verified = 0usize;
 
     for &ei in &freq_events {
         for &ej in &freq_events {
@@ -167,26 +149,7 @@ pub(crate) fn mine_internal(
                     continue;
                 }
             }
-            let joint = index.bitmap(ei).and(index.bitmap(ej));
-            let joint_supp = joint.count_ones();
-            let max_supp = index.support(ei).max(index.support(ej));
-            if cfg.pruning.apriori {
-                // Lemma 2: supp(P) <= supp(Ei, Ej).
-                if joint_supp < sigma_abs {
-                    stats.apriori_pruned += 1;
-                    continue;
-                }
-                // Lemma 3: conf(P) <= conf(Ei, Ej).
-                if (joint_supp as f64 / max_supp as f64) + CONF_EPS < cfg.delta {
-                    stats.apriori_pruned += 1;
-                    continue;
-                }
-            } else if joint_supp == 0 {
-                continue; // nothing to scan either way
-            }
-            verified += 1;
-            let node = verify_pair(db, &index, cfg, &mut stats, ei, ej, &joint, max_supp, sigma_abs);
-            if let Some(node) = node {
+            if let Some(node) = engine.try_pair(ei, ej, &mut stats) {
                 for p in &node.patterns {
                     pair_relations.insert(ei, p.pattern.relations()[0], ej);
                 }
@@ -194,7 +157,6 @@ pub(crate) fn mine_internal(
             }
         }
     }
-    stats.nodes_verified.push(verified);
     stats.nodes_kept.push(level_nodes.len());
     stats
         .patterns_found
@@ -216,103 +178,14 @@ pub(crate) fn mine_internal(
         sigma_abs,
         max_events,
         stats: &mut stats,
-        graph: &mut graph,
-        patterns: &mut patterns,
+        sink,
         n_seqs,
     };
     for node in level_nodes {
         grow.grow_node(node, 3);
     }
 
-    MiningResult {
-        patterns,
-        frequent_events: freq_events
-            .iter()
-            .map(|&e| (e, index.support(e)))
-            .collect(),
-        graph,
-        stats,
-    }
-}
-
-/// Step 2.2: verify the instance pairs of one candidate event pair and
-/// collect its frequent relations.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn verify_pair(
-    db: &SequenceDatabase,
-    index: &DatabaseIndex,
-    cfg: &MinerConfig,
-    stats: &mut MiningStats,
-    ei: EventId,
-    ej: EventId,
-    joint: &Bitmap,
-    max_supp: usize,
-    sigma_abs: usize,
-) -> Option<WorkNode> {
-    let n_seqs = db.len();
-    // One accumulator per relation type.
-    let mut bitmaps = [
-        Bitmap::new(n_seqs),
-        Bitmap::new(n_seqs),
-        Bitmap::new(n_seqs),
-    ];
-    let mut occs: [Vec<(u32, Vec<u32>)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-
-    for seq_id in joint.iter_ones() {
-        let seq = &db.sequences()[seq_id];
-        for &ii in index.instances_in(seq_id, ei) {
-            let inst_i = &seq.instances()[ii as usize];
-            for &jj in index.instances_in(seq_id, ej) {
-                let inst_j = &seq.instances()[jj as usize];
-                // The node (Ei, Ej) binds Ei to the chronologically first
-                // instance; the opposite order belongs to node (Ej, Ei).
-                if inst_i.chrono_key() >= inst_j.chrono_key() {
-                    continue;
-                }
-                stats.instance_checks += 1;
-                // Maximal-duration constraint (Section III-C). We use the
-                // monotone reading — the whole occurrence must fit inside
-                // a t_max window — so that every prefix of a valid
-                // occurrence is itself valid and level-wise growth stays
-                // complete (see DESIGN.md).
-                let max_end = inst_i.interval.end.max(inst_j.interval.end);
-                if !cfg.relation.within_t_max(inst_i.interval.start, max_end) {
-                    continue;
-                }
-                if let Some(r) = cfg.relation.relate(&inst_i.interval, &inst_j.interval) {
-                    bitmaps[r.index()].set(seq_id);
-                    occs[r.index()].push((seq_id as u32, vec![ii, jj]));
-                }
-            }
-        }
-    }
-
-    let mut node_patterns = Vec::new();
-    for r in TemporalRelation::ALL {
-        let support = bitmaps[r.index()].count_ones();
-        if support < sigma_abs {
-            continue;
-        }
-        let confidence = support as f64 / max_supp as f64;
-        if confidence + CONF_EPS < cfg.delta {
-            continue;
-        }
-        node_patterns.push(WorkPattern {
-            pattern: Pattern::pair(ei, r, ej),
-            support,
-            confidence,
-            occurrences: std::mem::take(&mut occs[r.index()]),
-        });
-    }
-    if node_patterns.is_empty() {
-        return None; // a "brown" node: frequent pair, no frequent pattern.
-    }
-    Some(WorkNode {
-        events: vec![ei, ej],
-        support: joint.count_ones(),
-        bitmap: joint.clone(),
-        patterns: node_patterns,
-    })
+    stats
 }
 
 /// Step 3.2: extend each frequent pattern of `node` with one instance of
@@ -404,13 +277,11 @@ pub(crate) fn extend_node(
         }
         for (code, (bitmap, occurrences)) in accum {
             let support = bitmap.count_ones();
-            if support < sigma_abs {
+            let Some(confidence) =
+                passes_thresholds(support, max_supp, sigma_abs, cfg.delta)
+            else {
                 continue;
-            }
-            let confidence = support as f64 / max_supp as f64;
-            if confidence + CONF_EPS < cfg.delta {
-                continue;
-            }
+            };
             let rels = decode_column(code, node.events.len());
             new_patterns.push(WorkPattern {
                 pattern: parent.pattern.extend(ek, &rels),
@@ -445,8 +316,7 @@ pub(crate) struct GrowContext<'a> {
     pub(crate) sigma_abs: usize,
     pub(crate) max_events: usize,
     pub(crate) stats: &'a mut MiningStats,
-    pub(crate) graph: &'a mut HierarchicalPatternGraph,
-    pub(crate) patterns: &'a mut Vec<FrequentPattern>,
+    pub(crate) sink: &'a mut dyn PatternSink,
     pub(crate) n_seqs: usize,
 }
 
@@ -456,7 +326,7 @@ impl GrowContext<'_> {
     /// bindings die when this frame returns.
     pub(crate) fn grow_node(&mut self, node: WorkNode, k: usize) {
         if k > self.max_events {
-            archive_node(self.graph, self.patterns, self.n_seqs, node, k - 1);
+            archive_node(self.sink, self.n_seqs, node, k - 1);
             return;
         }
         while self.stats.nodes_verified.len() < k - 1 {
@@ -486,16 +356,7 @@ impl GrowContext<'_> {
                 .max()
                 .expect("nodes have events")
                 .max(self.index.support(ek));
-            if self.cfg.pruning.apriori {
-                if joint_supp < self.sigma_abs {
-                    self.stats.apriori_pruned += 1;
-                    continue;
-                }
-                if (joint_supp as f64 / max_supp as f64) + CONF_EPS < self.cfg.delta {
-                    self.stats.apriori_pruned += 1;
-                    continue;
-                }
-            } else if joint_supp == 0 {
+            if !apriori_gate(self.cfg, self.sigma_abs, joint_supp, max_supp, self.stats) {
                 continue;
             }
             self.stats.nodes_verified[k - 2] += 1;
@@ -519,40 +380,32 @@ impl GrowContext<'_> {
         }
         // The parent's occurrences are no longer needed once all its
         // children have been generated.
-        archive_node(self.graph, self.patterns, self.n_seqs, node, k - 1);
+        archive_node(self.sink, self.n_seqs, node, k - 1);
         for child in children {
             self.grow_node(child, k + 1);
         }
     }
 }
 
-/// Moves a finished node into the result, dropping occurrence bindings.
+/// Emits a finished node into the sink, dropping occurrence bindings.
 /// `k` is the node's event count; its level slot is `k - 2`.
-fn archive_node(
-    graph: &mut HierarchicalPatternGraph,
-    patterns: &mut Vec<FrequentPattern>,
+pub(crate) fn archive_node(
+    sink: &mut dyn PatternSink,
     n_seqs: usize,
     node: WorkNode,
     k: usize,
 ) {
-    while graph.levels.len() < k - 1 {
-        graph.levels.push(Level::default());
-    }
-    let mut pattern_indices = Vec::with_capacity(node.patterns.len());
-    for wp in node.patterns {
-        pattern_indices.push(patterns.len());
-        patterns.push(FrequentPattern {
+    let patterns: Vec<FrequentPattern> = node
+        .patterns
+        .into_iter()
+        .map(|wp| FrequentPattern {
             pattern: wp.pattern,
             support: wp.support,
             rel_support: wp.support as f64 / n_seqs.max(1) as f64,
             confidence: wp.confidence,
-        });
-    }
-    graph.levels[k - 2].nodes.push(Node {
-        events: node.events,
-        support: node.support,
-        pattern_indices,
-    });
+        })
+        .collect();
+    sink.node(node.events, node.support, k, patterns);
 }
 
 #[cfg(test)]
@@ -574,16 +427,5 @@ mod tests {
             }
             assert_eq!(decode_column(code, column.len()), column);
         }
-    }
-
-    #[test]
-    fn pair_relations_dense_table() {
-        let mut t = PairRelations::new(4);
-        t.insert(EventId(1), TemporalRelation::Contain, EventId(3));
-        assert!(t.contains(EventId(1), TemporalRelation::Contain, EventId(3)));
-        assert!(!t.contains(EventId(1), TemporalRelation::Follow, EventId(3)));
-        assert!(!t.contains(EventId(3), TemporalRelation::Contain, EventId(1)));
-        assert!(t.any(EventId(1), EventId(3)));
-        assert!(!t.any(EventId(0), EventId(3)));
     }
 }

@@ -13,7 +13,11 @@
 //!   uncorrelated time series via the mutual-information correlation
 //!   graph before running HTPGM;
 //! * [`mine_reference`] — a brute-force miner used as a correctness
-//!   oracle in tests and to study the patterns A-HTPGM prunes (Fig 8).
+//!   oracle in tests and to study the patterns A-HTPGM prunes (Fig 8);
+//! * [`PatternSink`] and friends ([`CollectSink`], [`CountingSink`],
+//!   [`CsvSink`], [`JsonlSink`]) — streaming output: [`mine_exact_with_sink`]
+//!   and [`mine_exact_parallel_with_sink`] emit each finished pattern-graph
+//!   node into a sink instead of materializing a result `Vec`.
 //!
 //! # Quickstart
 //!
@@ -36,6 +40,7 @@
 //! ```
 
 mod approx;
+mod candidates;
 mod config;
 mod exact;
 mod hpg;
@@ -45,17 +50,21 @@ mod pattern;
 mod postprocess;
 mod reference;
 mod result;
+mod sink;
 
 pub use approx::{
     event_indicator_database, mine_approximate, mine_approximate_event_level,
     mine_approximate_with_density, ApproxOutcome,
 };
 pub use config::{MinerConfig, PruningConfig};
-pub use exact::mine_exact;
-pub use parallel::mine_exact_parallel;
-pub use postprocess::{closed_patterns, maximal_patterns, pattern_lift, top_k_by_lift};
+pub use exact::{mine_exact, mine_exact_with_sink};
+pub use parallel::{mine_exact_parallel, mine_exact_parallel_with_sink};
+pub use postprocess::{
+    closed_patterns, maximal_patterns, pattern_lift, rank_patterns, top_k_by_lift, PatternSort,
+};
 pub use hpg::{HierarchicalPatternGraph, Level, Node};
 pub use index::DatabaseIndex;
 pub use pattern::Pattern;
 pub use reference::mine_reference;
 pub use result::{FrequentPattern, MiningResult, MiningStats};
+pub use sink::{CollectSink, CountingSink, CsvSink, JsonlSink, PatternSink};

@@ -5,25 +5,29 @@
 //! every L2 node's subtree grows independently of its siblings (the only
 //! cross-node structure, the frequent-relation table of Lemmas 4–7, is
 //! complete once L2 is done and read-only afterwards). This module
-//! shards both phases over `std::thread::scope` workers and merges the
-//! results. Output is bit-identical to [`crate::mine_exact`] up to
-//! pattern order (asserted by the equivalence tests); run statistics are
-//! summed across workers.
+//! shards both phases over `std::thread::scope` workers, driving the same
+//! [`crate::candidates`] engine as the single-threaded miner, and emits
+//! finished nodes into a shared [`PatternSink`]. Output is bit-identical
+//! to [`crate::mine_exact`] up to pattern order (asserted by the
+//! equivalence tests) — node emission interleaves across workers, so the
+//! order is not deterministic run to run, but the set, supports and
+//! confidences are. Run statistics are summed across workers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use ftpm_events::{EventId, SequenceDatabase};
 
+use crate::candidates::{L2Engine, PairRelations, WorkNode};
 use crate::config::MinerConfig;
-use crate::exact::{verify_pair, GrowContext, PairRelations, WorkNode, MAX_EVENTS_HARD_CAP};
-use crate::hpg::HierarchicalPatternGraph;
+use crate::exact::{GrowContext, MAX_EVENTS_HARD_CAP};
 use crate::index::DatabaseIndex;
-use crate::result::{FrequentPattern, MiningResult, MiningStats};
+use crate::result::{MiningResult, MiningStats};
+use crate::sink::{CollectSink, PatternSink};
 
 /// Mines exactly like [`crate::mine_exact`], distributing the work over
-/// `n_threads` OS threads. Patterns are reported level-ordered per worker
-/// shard; the set, supports and confidences are identical to the
-/// single-threaded miner.
+/// `n_threads` OS threads. The pattern set, supports and confidences are
+/// identical to the single-threaded miner; only the order differs.
 ///
 /// # Panics
 ///
@@ -33,9 +37,32 @@ pub fn mine_exact_parallel(
     cfg: &MinerConfig,
     n_threads: usize,
 ) -> MiningResult {
+    let mut sink = CollectSink::new();
+    let stats = mine_exact_parallel_with_sink(db, cfg, n_threads, &mut sink);
+    sink.into_result(stats)
+}
+
+/// Multi-threaded counterpart of [`crate::mine_exact_with_sink`]: mines
+/// with `n_threads` workers that emit finished Hierarchical Pattern Graph
+/// nodes into the shared `sink` as they complete (each emission is
+/// atomic, but emissions interleave across workers). The streaming path
+/// never materializes the full pattern result; emitted-pattern memory is
+/// bounded per worker by the emission batch plus one node, though L2
+/// working state (all L2 nodes with their occurrence bindings) is still
+/// held during candidate generation, as in the sequential miner.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn mine_exact_parallel_with_sink(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    n_threads: usize,
+    sink: &mut (dyn PatternSink + Send),
+) -> MiningStats {
     assert!(n_threads > 0, "need at least one thread");
     if n_threads == 1 {
-        return crate::mine_exact(db, cfg);
+        return crate::exact::mine_internal(db, cfg, None, sink);
     }
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
@@ -48,8 +75,19 @@ pub fn mine_exact_parallel(
         .ids()
         .filter(|&e| index.support(e) >= sigma_abs)
         .collect();
+    let l1: Vec<(EventId, usize)> = freq_events
+        .iter()
+        .map(|&e| (e, index.support(e)))
+        .collect();
+    sink.begin(&l1);
 
     // ---- L2, sharded over candidate pairs ----
+    let engine = L2Engine {
+        db,
+        index: &index,
+        cfg,
+        sigma_abs,
+    };
     let pairs: Vec<(EventId, EventId)> = freq_events
         .iter()
         .flat_map(|&ei| freq_events.iter().map(move |&ej| (ei, ej)))
@@ -60,7 +98,7 @@ pub fn mine_exact_parallel(
             .map(|_| {
                 let pairs = &pairs;
                 let next_pair = &next_pair;
-                let index = &index;
+                let engine = &engine;
                 scope.spawn(move || {
                     let mut nodes = Vec::new();
                     let mut stats = MiningStats::default();
@@ -73,25 +111,7 @@ pub fn mine_exact_parallel(
                             break;
                         }
                         for &(ei, ej) in &pairs[at..(at + 16).min(pairs.len())] {
-                            let joint = index.bitmap(ei).and(index.bitmap(ej));
-                            let joint_supp = joint.count_ones();
-                            let max_supp = index.support(ei).max(index.support(ej));
-                            if cfg.pruning.apriori {
-                                if joint_supp < sigma_abs {
-                                    stats.apriori_pruned += 1;
-                                    continue;
-                                }
-                                if (joint_supp as f64 / max_supp as f64) + 1e-9 < cfg.delta {
-                                    stats.apriori_pruned += 1;
-                                    continue;
-                                }
-                            } else if joint_supp == 0 {
-                                continue;
-                            }
-                            stats.nodes_verified[0] += 1;
-                            if let Some(node) = verify_pair(
-                                db, index, cfg, &mut stats, ei, ej, &joint, max_supp, sigma_abs,
-                            ) {
+                            if let Some(node) = engine.try_pair(ei, ej, &mut stats) {
                                 nodes.push(node);
                             }
                         }
@@ -112,7 +132,7 @@ pub fn mine_exact_parallel(
         merge_stats(&mut stats, shard_stats);
         level2.extend(nodes);
     }
-    // Canonical order so the output is deterministic across runs.
+    // Canonical order so work distribution is deterministic across runs.
     level2.sort_by(|a, b| a.events.cmp(&b.events));
     stats.nodes_kept[0] = level2.len();
     stats.patterns_found[0] = level2.iter().map(|n| n.patterns.len()).sum();
@@ -125,15 +145,15 @@ pub fn mine_exact_parallel(
     }
 
     // ---- L3+: shard L2 nodes across workers, each growing its subtree
-    // with the shared read-only L2 relation table. ----
-    let node_queue: Vec<WorkNode> = level2;
+    // with the shared read-only L2 relation table and emitting finished
+    // nodes straight into the shared sink. ----
     let next_node = AtomicUsize::new(0);
-    let queue_refs: Vec<std::sync::Mutex<Option<WorkNode>>> = node_queue
+    let queue_refs: Vec<Mutex<Option<WorkNode>>> = level2
         .into_iter()
-        .map(|n| std::sync::Mutex::new(Some(n)))
+        .map(|n| Mutex::new(Some(n)))
         .collect();
-    type ShardOut = (HierarchicalPatternGraph, Vec<FrequentPattern>, MiningStats);
-    let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
+    let shared = Mutex::new(sink);
+    let shard_stats_out: Vec<MiningStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|_| {
                 let next_node = &next_node;
@@ -141,9 +161,9 @@ pub fn mine_exact_parallel(
                 let index = &index;
                 let pair_relations = &pair_relations;
                 let freq_events = &freq_events;
+                let shared = &shared;
                 scope.spawn(move || {
-                    let mut graph = HierarchicalPatternGraph::default();
-                    let mut patterns = Vec::new();
+                    let mut worker_sink = SharedSink::new(shared);
                     let mut shard_stats = MiningStats::default();
                     loop {
                         let at = next_node.fetch_add(1, Ordering::Relaxed);
@@ -164,47 +184,80 @@ pub fn mine_exact_parallel(
                             sigma_abs,
                             max_events,
                             stats: &mut shard_stats,
-                            graph: &mut graph,
-                            patterns: &mut patterns,
+                            sink: &mut worker_sink,
                             n_seqs,
                         };
                         grow.grow_node(node, 3);
                     }
-                    (graph, patterns, shard_stats)
+                    worker_sink.flush();
+                    shard_stats
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker")).collect()
     });
 
-    // ---- Merge worker shards ----
-    let mut graph = HierarchicalPatternGraph::default();
-    let mut patterns: Vec<FrequentPattern> = Vec::new();
-    for (shard_graph, shard_patterns, shard_stats) in shard_results {
-        let offset = patterns.len();
-        for (li, level) in shard_graph.levels.into_iter().enumerate() {
-            while graph.levels.len() <= li {
-                graph.levels.push(Default::default());
-            }
-            for mut node in level.nodes {
-                for idx in &mut node.pattern_indices {
-                    *idx += offset;
-                }
-                graph.levels[li].nodes.push(node);
-            }
-        }
-        patterns.extend(shard_patterns);
+    for shard_stats in shard_stats_out {
         merge_stats(&mut stats, shard_stats);
     }
+    stats
+}
 
-    MiningResult {
-        patterns,
-        frequent_events: freq_events
-            .iter()
-            .map(|&e| (e, index.support(e)))
-            .collect(),
-        graph,
-        stats,
+/// One buffered node emission awaiting the shared-sink lock.
+type PendingNode = (Vec<EventId>, usize, usize, Vec<crate::result::FrequentPattern>);
+
+/// How many patterns a worker buffers before taking the shared-sink
+/// lock. Amortizes contention when many small nodes finish in bursts;
+/// worker-resident pattern memory stays bounded by this plus one node.
+const SHARED_SINK_BATCH: usize = 1024;
+
+/// Per-worker handle on the shared sink: buffers finished nodes and
+/// drains them in batches under one lock acquisition, so each node still
+/// lands atomically while workers contend far less. (Serialization work
+/// done *inside* the target sink — e.g. CSV formatting — still happens
+/// under the lock; moving that worker-side needs a byte-level seam, see
+/// ROADMAP "Output channels".)
+struct SharedSink<'a, 'b> {
+    shared: &'a Mutex<&'b mut (dyn PatternSink + Send)>,
+    pending: Vec<PendingNode>,
+    pending_patterns: usize,
+}
+
+impl<'a, 'b> SharedSink<'a, 'b> {
+    fn new(shared: &'a Mutex<&'b mut (dyn PatternSink + Send)>) -> Self {
+        SharedSink {
+            shared,
+            pending: Vec::new(),
+            pending_patterns: 0,
+        }
+    }
+
+    /// Drains the buffer into the shared sink under one lock.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut sink = self.shared.lock().expect("unpoisoned");
+        for (events, support, k, patterns) in self.pending.drain(..) {
+            sink.node(events, support, k, patterns);
+        }
+        self.pending_patterns = 0;
+    }
+}
+
+impl PatternSink for SharedSink<'_, '_> {
+    fn node(
+        &mut self,
+        events: Vec<EventId>,
+        support: usize,
+        k: usize,
+        patterns: Vec<crate::result::FrequentPattern>,
+    ) {
+        self.pending_patterns += patterns.len();
+        self.pending.push((events, support, k, patterns));
+        if self.pending_patterns >= SHARED_SINK_BATCH {
+            self.flush();
+        }
     }
 }
 

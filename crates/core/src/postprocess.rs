@@ -120,6 +120,59 @@ pub fn pattern_lift(result: &MiningResult, fp: &FrequentPattern) -> Option<f64> 
     Some(fp.rel_support / baseline)
 }
 
+/// Sort key for ranking mined patterns at the presentation layer — what
+/// `ftpm mine --sort` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternSort {
+    /// Descending by absolute support, ties broken by confidence.
+    Support,
+    /// Descending by confidence, ties broken by support.
+    Confidence,
+}
+
+impl std::str::FromStr for PatternSort {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "support" => Ok(PatternSort::Support),
+            "confidence" => Ok(PatternSort::Confidence),
+            other => Err(format!(
+                "unknown sort key {other:?} (expected support|confidence)"
+            )),
+        }
+    }
+}
+
+/// References to the patterns of `result`, optionally sorted by `sort`
+/// and truncated to the `top` best — makes 920k-pattern runs usable from
+/// a terminal. With `sort == None` discovery order is kept; remaining
+/// ties break by discovery order (the sort is stable).
+pub fn rank_patterns(
+    result: &MiningResult,
+    sort: Option<PatternSort>,
+    top: Option<usize>,
+) -> Vec<&FrequentPattern> {
+    let mut refs: Vec<&FrequentPattern> = result.patterns.iter().collect();
+    match sort {
+        Some(PatternSort::Support) => refs.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then(b.confidence.total_cmp(&a.confidence))
+        }),
+        Some(PatternSort::Confidence) => refs.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then(b.support.cmp(&a.support))
+        }),
+        None => {}
+    }
+    if let Some(n) = top {
+        refs.truncate(n);
+    }
+    refs
+}
+
 /// The `k` most interesting patterns by lift (ties broken by support then
 /// confidence), longest-first among equals.
 pub fn top_k_by_lift(result: &MiningResult, k: usize) -> Vec<(&FrequentPattern, f64)> {
@@ -230,6 +283,27 @@ mod tests {
             .unwrap();
         let lift = pattern_lift(&result, ab).unwrap();
         assert!(lift >= 1.0, "perfectly co-occurring events: lift {lift} >= 1");
+    }
+
+    #[test]
+    fn rank_patterns_sorts_and_truncates() {
+        let db = chain_db();
+        let result = mine_exact(&db, &MinerConfig::new(0.5, 0.1).with_max_events(3));
+        assert!(result.len() >= 2);
+        let by_supp = rank_patterns(&result, Some(PatternSort::Support), None);
+        for w in by_supp.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+        let by_conf = rank_patterns(&result, Some(PatternSort::Confidence), Some(2));
+        assert_eq!(by_conf.len(), 2);
+        assert!(by_conf[0].confidence >= by_conf[1].confidence);
+        // No sort: discovery order preserved.
+        let plain = rank_patterns(&result, None, None);
+        for (a, b) in plain.iter().zip(&result.patterns) {
+            assert!(std::ptr::eq(*a, b));
+        }
+        assert_eq!("support".parse::<PatternSort>(), Ok(PatternSort::Support));
+        assert!("lift".parse::<PatternSort>().is_err());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Equivalence of the three ways a mining run can leave the miner —
+//! collected (`mine_exact`), parallel-collected (`mine_exact_parallel`),
+//! and streamed through a `PatternSink` — across demo datasets, thread
+//! counts, and (via proptest) the σ/δ grid. Same pattern set, same
+//! supports, same confidences, same counts; streaming only changes where
+//! the patterns go, never what they are.
+
+use std::collections::HashMap;
+
+use ftpm_core::{
+    mine_exact, mine_exact_parallel, mine_exact_parallel_with_sink, mine_exact_with_sink,
+    CollectSink, CountingSink, CsvSink, JsonlSink, MinerConfig, MiningResult, Pattern,
+    PatternSink,
+};
+use ftpm_datagen::{dataport_like, nist_like, random_sequence_database, ukdale_like, Dataset};
+
+fn as_map(result: &MiningResult) -> HashMap<Pattern, (usize, f64)> {
+    result
+        .patterns
+        .iter()
+        .map(|p| (p.pattern.clone(), (p.support, p.confidence)))
+        .collect()
+}
+
+fn assert_same_patterns(a: &MiningResult, b: &MiningResult, context: &str) {
+    let ma = as_map(a);
+    let mb = as_map(b);
+    assert_eq!(
+        a.patterns.len(),
+        b.patterns.len(),
+        "{context}: pattern count"
+    );
+    for (pat, (supp, conf)) in &ma {
+        let (s2, c2) = mb
+            .get(pat)
+            .unwrap_or_else(|| panic!("{context}: pattern {pat:?} missing"));
+        assert_eq!(supp, s2, "{context}: support mismatch for {pat:?}");
+        assert!(
+            (conf - c2).abs() < 1e-9,
+            "{context}: confidence mismatch for {pat:?}"
+        );
+    }
+}
+
+/// Runs every output path on one database/config and cross-checks them.
+fn check_all_paths(seq: &ftpm_events::SequenceDatabase, cfg: &MinerConfig, context: &str) {
+    let exact = mine_exact(seq, cfg);
+
+    // Explicit CollectSink: the exact miner is itself sink-driven, so
+    // this must be the identical result, order included.
+    let mut collect = CollectSink::new();
+    let stats = mine_exact_with_sink(seq, cfg, &mut collect);
+    let collected = collect.into_result(stats);
+    assert_eq!(exact.patterns, collected.patterns, "{context}: collect order");
+    assert_eq!(exact.graph, collected.graph, "{context}: collect graph");
+    assert_eq!(exact.stats, collected.stats, "{context}: collect stats");
+
+    // Counting sink: same totals without materializing anything.
+    let mut counting = CountingSink::default();
+    mine_exact_with_sink(seq, cfg, &mut counting);
+    assert_eq!(counting.patterns(), exact.len(), "{context}: count");
+    assert_eq!(
+        counting.frequent_events(),
+        exact.frequent_events.len(),
+        "{context}: L1 count"
+    );
+    assert_eq!(counting.nodes(), exact.graph.n_nodes(), "{context}: nodes");
+
+    // Writer sinks: one row/line per pattern.
+    let mut csv = Vec::new();
+    let mut csv_sink = CsvSink::new(&mut csv, seq.registry());
+    mine_exact_with_sink(seq, cfg, &mut csv_sink);
+    assert_eq!(csv_sink.written() as usize, exact.len(), "{context}: csv rows");
+    csv_sink.finish().expect("vec write");
+    drop(csv_sink);
+    assert_eq!(
+        String::from_utf8(csv).expect("utf8").lines().count(),
+        exact.len() + 1, // header
+        "{context}: csv lines"
+    );
+
+    let mut jsonl = Vec::new();
+    let mut jsonl_sink = JsonlSink::new(&mut jsonl, seq.registry());
+    mine_exact_with_sink(seq, cfg, &mut jsonl_sink);
+    jsonl_sink.finish().expect("vec write");
+    drop(jsonl_sink);
+    let text = String::from_utf8(jsonl).expect("utf8");
+    assert_eq!(text.lines().count(), exact.len(), "{context}: jsonl lines");
+    for line in text.lines().take(50) {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"support\":"),
+            "{context}: malformed jsonl line {line:?}"
+        );
+    }
+
+    // Parallel, collected and streamed, at several thread counts.
+    for threads in [1usize, 2, 4] {
+        let par = mine_exact_parallel(seq, cfg, threads);
+        assert_same_patterns(&exact, &par, &format!("{context} threads={threads}"));
+        assert_eq!(
+            par.stats.instance_checks, exact.stats.instance_checks,
+            "{context} threads={threads}: same work"
+        );
+
+        let mut streamed = CountingSink::default();
+        let stats = mine_exact_parallel_with_sink(seq, cfg, threads, &mut streamed);
+        assert_eq!(
+            streamed.patterns(),
+            exact.len(),
+            "{context} threads={threads}: streamed count"
+        );
+        assert_eq!(
+            stats.patterns_found.iter().sum::<usize>(),
+            exact.len(),
+            "{context} threads={threads}: stats count"
+        );
+    }
+}
+
+#[test]
+fn all_output_paths_agree_on_demo_datasets() {
+    let datasets: [Dataset; 3] = [nist_like(0.008), ukdale_like(0.008), dataport_like(0.01)];
+    for data in &datasets {
+        let cfg = MinerConfig::new(0.4, 0.4).with_max_events(3);
+        check_all_paths(&data.seq, &cfg, &data.name);
+    }
+}
+
+#[test]
+fn parallel_collect_sink_merges_graph_consistently() {
+    // The shared-sink merge must keep pattern_indices pointing at the
+    // right patterns even though nodes interleave across workers.
+    let data = nist_like(0.01);
+    let cfg = MinerConfig::new(0.4, 0.4).with_max_events(3);
+    let par = mine_exact_parallel(&data.seq, &cfg, 4);
+    let mut seen = 0usize;
+    for (li, level) in par.graph.levels.iter().enumerate() {
+        for node in &level.nodes {
+            for &pi in &node.pattern_indices {
+                let fp = &par.patterns[pi];
+                assert_eq!(fp.pattern.len(), li + 2, "level slot vs pattern length");
+                assert_eq!(fp.pattern.events(), &node.events[..], "node events");
+                seen += 1;
+            }
+        }
+    }
+    assert_eq!(seen, par.len(), "every pattern reachable from the graph");
+}
+
+#[test]
+fn replay_into_collect_roundtrips() {
+    let data = ukdale_like(0.01);
+    let cfg = MinerConfig::new(0.4, 0.4).with_max_events(3);
+    let exact = mine_exact(&data.seq, &cfg);
+    let mut sink = CollectSink::new();
+    exact.replay_into(&mut sink);
+    sink.finish().expect("collect never fails");
+    let replayed = sink.into_result(exact.stats.clone());
+    // Replay walks the graph level by level, so the pattern order changes
+    // from discovery (depth-first) to level order — but the set, the
+    // frequent events, and the graph structure survive the round trip.
+    assert_same_patterns(&exact, &replayed, "replay");
+    assert_eq!(exact.frequent_events, replayed.frequent_events);
+    assert_eq!(exact.graph.n_nodes(), replayed.graph.n_nodes());
+    for (le, lr) in exact.graph.levels.iter().zip(&replayed.graph.levels) {
+        for (ne, nr) in le.nodes.iter().zip(&lr.nodes) {
+            assert_eq!(ne.events, nr.events);
+            assert_eq!(ne.support, nr.support);
+            let pats_e: Vec<_> = ne.pattern_indices.iter().map(|&i| &exact.patterns[i]).collect();
+            let pats_r: Vec<_> = nr.pattern_indices.iter().map(|&i| &replayed.patterns[i]).collect();
+            assert_eq!(pats_e, pats_r, "per-node patterns survive replay");
+        }
+    }
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Over random databases and the whole σ/δ square, the parallel
+        /// and streaming paths reproduce the sequential pattern set.
+        #[test]
+        fn exact_parallel_streaming_agree(
+            seed in 0u64..12,
+            sigma in 0.15f64..0.9,
+            delta in 0.15f64..0.9,
+        ) {
+            let db = random_sequence_database(seed, 6, 3, 2, 40);
+            let cfg = MinerConfig::new(sigma, delta).with_max_events(4);
+            let exact = mine_exact(&db, &cfg);
+            for threads in [2usize, 4] {
+                let par = mine_exact_parallel(&db, &cfg, threads);
+                prop_assert_eq!(par.len(), exact.len());
+                let (ma, mb) = (as_map(&exact), as_map(&par));
+                for (pat, (supp, conf)) in &ma {
+                    let (s2, c2) = mb[pat];
+                    prop_assert_eq!(*supp, s2);
+                    prop_assert!((conf - c2).abs() < 1e-9);
+                }
+                let mut counting = CountingSink::default();
+                mine_exact_parallel_with_sink(&db, &cfg, threads, &mut counting);
+                prop_assert_eq!(counting.patterns(), exact.len());
+            }
+        }
+    }
+}

@@ -3,7 +3,10 @@
 //! ```text
 //! ftpm mine  --input data.csv --sigma 0.5 --delta 0.5 --window 360
 //! ftpm mine  --demo nist --scale 0.02 --sigma 0.4 --delta 0.4
+//! ftpm mine  --demo nist --scale 0.02 --sigma 0.4 --threads 4 \
+//!            --output patterns.jsonl --stream
 //! ftpm mine  --demo city --approx-density 0.6 --sigma 0.3 --delta 0.3
+//! ftpm mine  --demo nist --sort support --top 20
 //! ftpm graph --demo nist --scale 0.02 --mu 0.4
 //! ```
 //!
@@ -11,7 +14,12 @@
 //! step), remaining columns are numeric variables. Binary symbolization
 //! (`--threshold`, default 0.05) is applied unless `--states N` asks for
 //! N quantile states.
+//!
+//! Exact mining defaults to every available core (`--threads`); with
+//! `--stream` the patterns are written to `--output` as they are mined,
+//! never materializing the full pattern set in memory.
 
+use std::io::{BufWriter, Write as _};
 use std::process::ExitCode;
 
 use ftpm::*;
@@ -40,7 +48,9 @@ USAGE:
   ftpm mine  [--input FILE.csv | --demo nist|ukdale|dataport|city]
              [--sigma F] [--delta F] [--window MIN] [--overlap MIN]
              [--threshold F | --states N] [--scale F]
-             [--mu F | --approx-density F] [--max-events N] [--json]
+             [--mu F | --approx-density F] [--max-events N]
+             [--threads N] [--output FILE.{{csv,jsonl}}] [--stream]
+             [--sort support|confidence] [--top N] [--json]
   ftpm graph [--input FILE.csv | --demo ...] [--mu F] [--scale F]
 
 OPTIONS:
@@ -56,7 +66,14 @@ OPTIONS:
   --mu F             A-HTPGM with explicit NMI threshold
   --approx-density F A-HTPGM with correlation-graph density target
   --max-events N     cap pattern length                   [default 5]
-  --json             machine-readable output"
+  --threads N        worker threads for exact mining  [default: all cores]
+  --output FILE      export patterns (.csv or .jsonl, by extension)
+  --stream           stream patterns straight to --output while mining
+                     (constant memory; exact miner only, no sort/top)
+  --sort KEY         order printed/exported patterns: support|confidence
+  --top N            keep only the N best patterns (sorts by support
+                     unless --sort says otherwise)
+  --json             machine-readable summary output"
     );
 }
 
@@ -73,7 +90,20 @@ struct Options {
     mu: Option<f64>,
     density: Option<f64>,
     max_events: usize,
+    threads: usize,
+    output: Option<String>,
+    stream: bool,
+    sort: Option<PatternSort>,
+    top: Option<usize>,
     json: bool,
+}
+
+/// Worker threads to use when `--threads` is not given: every core the
+/// OS reports.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -90,6 +120,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
         mu: None,
         density: None,
         max_events: 5,
+        threads: default_threads(),
+        output: None,
+        stream: false,
+        sort: None,
+        top: None,
         json: false,
     };
     let mut it = args.iter();
@@ -112,6 +147,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--mu" => opt.mu = Some(num(&value("--mu")?)?),
             "--approx-density" => opt.density = Some(num(&value("--approx-density")?)?),
             "--max-events" => opt.max_events = num(&value("--max-events")?)? as usize,
+            "--threads" => {
+                opt.threads = num(&value("--threads")?)? as usize;
+                if opt.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--output" => opt.output = Some(value("--output")?),
+            "--stream" => opt.stream = true,
+            "--sort" => opt.sort = Some(value("--sort")?.parse()?),
+            "--top" => opt.top = Some(num(&value("--top")?)? as usize),
             "--json" => opt.json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -119,11 +164,49 @@ fn parse(args: &[String]) -> Result<Options, String> {
     if opt.input.is_none() && opt.demo.is_none() {
         return Err("need --input FILE or --demo NAME".into());
     }
+    if opt.stream {
+        if opt.output.is_none() {
+            return Err("--stream needs --output FILE".into());
+        }
+        if opt.sort.is_some() || opt.top.is_some() {
+            return Err("--stream cannot sort or truncate; drop --sort/--top".into());
+        }
+        if opt.mu.is_some() || opt.density.is_some() {
+            return Err("--stream supports the exact miner only".into());
+        }
+    }
+    if let Some(path) = &opt.output {
+        output_format(path)?;
+    }
+    // "--top N" promises the N *best* patterns; discovery order is
+    // nondeterministic under --threads, so truncation needs a sort.
+    if opt.top.is_some() && opt.sort.is_none() {
+        opt.sort = Some(PatternSort::Support);
+    }
     Ok(opt)
 }
 
 fn num(s: &str) -> Result<f64, String> {
     s.parse::<f64>().map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+/// Export format, decided by the `--output` extension.
+#[derive(Clone, Copy, PartialEq)]
+enum OutputFormat {
+    Csv,
+    Jsonl,
+}
+
+fn output_format(path: &str) -> Result<OutputFormat, String> {
+    if path.ends_with(".csv") {
+        Ok(OutputFormat::Csv)
+    } else if path.ends_with(".jsonl") || path.ends_with(".ndjson") {
+        Ok(OutputFormat::Jsonl)
+    } else {
+        Err(format!(
+            "--output {path:?}: unsupported extension (use .csv or .jsonl)"
+        ))
+    }
 }
 
 /// Loads the symbolic + sequence databases from the chosen source.
@@ -158,23 +241,123 @@ fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase), String> {
     Ok((syb, seq))
 }
 
+/// Opens `path`, builds the sink matching its extension, hands it to
+/// `feed`, then finishes the sink. Returns the number of pattern
+/// rows/lines written. The single place the CSV/JSONL dispatch lives.
+fn write_patterns(
+    path: &str,
+    seq: &SequenceDatabase,
+    feed: &mut dyn FnMut(&mut (dyn PatternSink + Send)),
+) -> Result<u64, String> {
+    let format = output_format(path).expect("validated in parse");
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let out = BufWriter::new(file);
+    let (written, finished) = match format {
+        OutputFormat::Csv => {
+            let mut sink = CsvSink::new(out, seq.registry());
+            feed(&mut sink);
+            (sink.written(), sink.finish())
+        }
+        OutputFormat::Jsonl => {
+            let mut sink = JsonlSink::new(out, seq.registry());
+            feed(&mut sink);
+            (sink.written(), sink.finish())
+        }
+    };
+    finished.map_err(|e| format!("{path}: {e}"))?;
+    Ok(written)
+}
+
+/// Streams the mining run straight into `--output`; returns the number
+/// of patterns written.
+fn mine_streaming(
+    seq: &SequenceDatabase,
+    cfg: &MinerConfig,
+    threads: usize,
+    path: &str,
+) -> Result<u64, String> {
+    write_patterns(path, seq, &mut |sink| {
+        if threads > 1 {
+            mine_exact_parallel_with_sink(seq, cfg, threads, sink);
+        } else {
+            mine_exact_with_sink(seq, cfg, sink);
+        }
+    })
+}
+
+/// Writes an already-mined result through the same sink machinery as the
+/// streaming path: a straight replay when the whole result goes out in
+/// discovery order, or one synthetic node per pattern for a
+/// sorted/truncated selection.
+fn export_result(
+    result: &MiningResult,
+    selection: &[&FrequentPattern],
+    seq: &SequenceDatabase,
+    path: &str,
+    reordered: bool,
+) -> Result<u64, String> {
+    if !reordered && selection.len() == result.len() {
+        return write_patterns(path, seq, &mut |sink| result.replay_into(sink));
+    }
+    write_patterns(path, seq, &mut |sink| {
+        sink.begin(&[]);
+        for fp in selection {
+            sink.node(
+                fp.pattern.events().to_vec(),
+                fp.support,
+                fp.pattern.len(),
+                vec![(*fp).clone()],
+            );
+        }
+    })
+}
+
 fn run_mine(args: &[String]) -> ExitCode {
-    let opt = match parse(args) {
-        Ok(o) => o,
+    match try_mine(args) {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
-    };
-    let (syb, seq) = match load(&opt) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    }
+}
+
+fn try_mine(args: &[String]) -> Result<(), String> {
+    let opt = parse(args)?;
+    let (syb, seq) = load(&opt)?;
     let cfg = MinerConfig::new(opt.sigma, opt.delta).with_max_events(opt.max_events.max(2));
+    let approx = opt.mu.is_some() || opt.density.is_some();
+    // A-HTPGM has no parallel path; report the thread count actually used.
+    let threads = if approx { 1 } else { opt.threads };
+
     let started = std::time::Instant::now();
+    if opt.stream {
+        let path = opt.output.as_ref().expect("validated in parse");
+        let written = mine_streaming(&seq, &cfg, threads, path)?;
+        let elapsed = started.elapsed();
+        if opt.json {
+            let payload = serde_json::json!({
+                "miner": "E-HTPGM",
+                "sequences": seq.len(),
+                "distinct_events": seq.registry().len(),
+                "threads": threads,
+                "elapsed_ms": elapsed.as_millis() as u64,
+                "pattern_count": written,
+                "output": path.as_str(),
+                "streamed": true,
+            });
+            println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
+        } else {
+            println!(
+                "E-HTPGM: {} sequences, {} distinct events, {written} patterns \
+                 streamed to {path} in {elapsed:.1?} ({threads} threads)",
+                seq.len(),
+                seq.registry().len(),
+            );
+        }
+        return Ok(());
+    }
+
     let (result, label) = if let Some(mu) = opt.mu {
         (mine_approximate(&syb, &seq, mu, &cfg).result, format!("A-HTPGM(mu={mu})"))
     } else if let Some(d) = opt.density {
@@ -182,35 +365,71 @@ fn run_mine(args: &[String]) -> ExitCode {
             mine_approximate_with_density(&syb, &seq, d, &cfg).result,
             format!("A-HTPGM(density={d})"),
         )
+    } else if threads > 1 {
+        (mine_exact_parallel(&seq, &cfg, threads), "E-HTPGM".to_owned())
     } else {
         (mine_exact(&seq, &cfg), "E-HTPGM".to_owned())
     };
     let elapsed = started.elapsed();
+    let selection = rank_patterns(&result, opt.sort, opt.top);
+
+    let exported = match &opt.output {
+        Some(path) => Some((
+            path.as_str(),
+            export_result(&result, &selection, &seq, path, opt.sort.is_some())?,
+        )),
+        None => None,
+    };
 
     if opt.json {
-        let payload = serde_json::json!({
+        let mut payload = serde_json::json!({
             "miner": label,
             "sequences": seq.len(),
             "distinct_events": seq.registry().len(),
+            "threads": threads,
             "elapsed_ms": elapsed.as_millis() as u64,
-            "patterns": result.patterns.iter().map(|p| serde_json::json!({
+            "pattern_count": result.len(),
+            "patterns": selection.iter().map(|p| serde_json::json!({
                 "pattern": p.pattern.display(seq.registry()).to_string(),
                 "support": p.support,
                 "rel_support": p.rel_support,
                 "confidence": p.confidence,
             })).collect::<Vec<_>>(),
         });
+        if let (Some((path, _)), serde_json::Value::Object(entries)) = (&exported, &mut payload) {
+            entries.push(("output".to_string(), serde_json::Value::from(*path)));
+        }
         println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
     } else {
+        let shown = if selection.len() < result.len() {
+            format!(" (showing {})", selection.len())
+        } else {
+            String::new()
+        };
         println!(
-            "{label}: {} sequences, {} distinct events, {} patterns in {elapsed:.1?}",
+            "{label}: {} sequences, {} distinct events, {} patterns{shown} in {elapsed:.1?} \
+             ({threads} threads)",
             seq.len(),
             seq.registry().len(),
             result.len(),
         );
-        print!("{}", result.render(seq.registry()));
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for fp in &selection {
+            let _ = writeln!(
+                out,
+                "{}  [supp={} ({:.0}%), conf={:.0}%]",
+                fp.pattern.display(seq.registry()),
+                fp.support,
+                fp.rel_support * 100.0,
+                fp.confidence * 100.0,
+            );
+        }
+        if let Some((path, written)) = exported {
+            println!("wrote {written} patterns to {path}");
+        }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn run_graph(args: &[String]) -> ExitCode {

@@ -8,7 +8,8 @@
 //! |-------|-------|--------------|
 //! | raw time series → symbols | `ftpm-timeseries` | [`TimeSeries`], [`ThresholdSymbolizer`], [`QuantileSymbolizer`], [`SymbolicDatabase`] |
 //! | symbols → event sequences | `ftpm-events` | [`to_sequence_database`], [`SplitConfig`], [`SequenceDatabase`] |
-//! | exact mining | `ftpm-core` | [`mine_exact`], [`MinerConfig`] |
+//! | exact mining | `ftpm-core` | [`mine_exact`], [`mine_exact_parallel`], [`MinerConfig`] |
+//! | streaming output | `ftpm-core` | [`PatternSink`], [`mine_exact_with_sink`], [`CsvSink`], [`JsonlSink`] |
 //! | MI-approximate mining | `ftpm-core` + `ftpm-mi` | [`mine_approximate`], [`CorrelationGraph`], [`confidence_lower_bound`] |
 //! | baselines | `ftpm-baselines` | [`mine_tpminer`], [`mine_ieminer`], [`mine_hdfs`] |
 //! | synthetic data | `ftpm-datagen` | [`nist_like`], [`smartcity_like`], … |
@@ -45,10 +46,13 @@ pub use csv::parse_csv;
 pub use ftpm_baselines::{mine_hdfs, mine_ieminer, mine_tpminer};
 pub use ftpm_bitmap::Bitmap;
 pub use ftpm_core::{
-    closed_patterns, event_indicator_database, maximal_patterns, pattern_lift, top_k_by_lift, mine_approximate, mine_approximate_event_level,
-    mine_approximate_with_density, mine_exact, mine_exact_parallel, mine_reference, ApproxOutcome,
-    DatabaseIndex, FrequentPattern, HierarchicalPatternGraph, MinerConfig, MiningResult,
-    MiningStats, Pattern, PruningConfig,
+    closed_patterns, event_indicator_database, maximal_patterns, pattern_lift, rank_patterns,
+    top_k_by_lift, mine_approximate, mine_approximate_event_level,
+    mine_approximate_with_density, mine_exact, mine_exact_parallel,
+    mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference, ApproxOutcome,
+    CollectSink, CountingSink, CsvSink, DatabaseIndex, FrequentPattern,
+    HierarchicalPatternGraph, JsonlSink, MinerConfig, MiningResult, MiningStats, Pattern,
+    PatternSink, PatternSort, PruningConfig,
 };
 pub use ftpm_datagen::{
     dataport_like, generate_city, generate_energy, nist_like, random_sequence_database,
