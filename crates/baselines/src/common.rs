@@ -120,6 +120,10 @@ pub(crate) fn assemble(
                 support: supp,
                 rel_support: supp as f64 / n.max(1) as f64,
                 confidence,
+                // Baselines count supporting sequences without binding
+                // occurrence tuples, so no artifact measure is available
+                // (they also always mine the clipped view).
+                clipped_occurrences: 0,
             })
         })
         .collect();

@@ -434,6 +434,126 @@ pub fn sink_memory(opts: &Opts) {
     report.finish();
 }
 
+/// Boundary-artifact equivalence (beyond the paper; ROADMAP
+/// "Window-boundary artifacts"): mines the energy demo once unsplit and
+/// once through an overlapped split with `t_ov = t_max`, under each
+/// [`ftpm_events::BoundaryPolicy`]. With `TrueExtent` the split's
+/// pattern set must equal the unsplit baseline for every pattern of
+/// (true) duration ≤ `t_max` — the Fig 3 overlap lemma made exact —
+/// while `Clip` fabricates and loses patterns at the cuts. Writes
+/// `results/boundary_equivalence.{csv,json}` and returns whether the
+/// `TrueExtent` sets matched.
+pub fn boundary_equivalence(opts: &Opts) -> bool {
+    use ftpm_events::{to_sequence_database, BoundaryPolicy, RelationConfig, SplitConfig};
+
+    // A handful of appliances keeps the single unsplit sequence minable
+    // by the same exact miner in seconds.
+    let data = nist_like(opts.scale).project_variables(8);
+    let syb = &data.syb;
+    let (step, n_steps) = (syb.step(), syb.n_steps());
+    // Six-hour windows overlapped by t_ov = t_max = 3 h. Derive the
+    // step geometry from the same rounding the split itself applies, so
+    // the baseline prefix below cannot drift from it.
+    let window = 6 * 60;
+    let t_max = 3 * 60;
+    let overlapped = SplitConfig::new(window, t_max);
+    let eff = overlapped.effective(step);
+    assert_eq!(
+        eff.overlap, t_max,
+        "t_max must survive step rounding or the lemma does not apply"
+    );
+    let win_steps = (eff.window / step) as usize;
+    let stride_steps = (eff.stride() / step) as usize;
+    assert!(n_steps >= win_steps, "scale too small for one window");
+    // The split emits only full windows, so the baseline is the
+    // full-window *prefix* the windows actually tile — one unsplit
+    // sequence covering exactly that many steps.
+    let covered_steps = ((n_steps - win_steps) / stride_steps) * stride_steps + win_steps;
+    let unsplit = SplitConfig::new(covered_steps as i64 * step, 0);
+
+    println!(
+        "Boundary equivalence: {} unsplit [0, {}) vs split {} (t_max {t_max}, scale {})\n",
+        data.name,
+        covered_steps as i64 * step,
+        overlapped,
+        opts.scale
+    );
+    let mut report = Report::new(
+        "boundary_equivalence",
+        &[
+            "policy", "baseline", "split", "missing", "extra", "equal",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    let mut true_extent_equal = false;
+    // The policy is applied at mining time, not split time, so one
+    // conversion per geometry serves all three policies.
+    let unsplit_db = to_sequence_database(syb, unsplit);
+    let overlapped_db = to_sequence_database(syb, overlapped);
+    for policy in [
+        BoundaryPolicy::Clip,
+        BoundaryPolicy::TrueExtent,
+        BoundaryPolicy::Discard,
+    ] {
+        let cfg = MinerConfig::new(0.01, 0.01)
+            .with_max_events(opts.max_events)
+            .with_relation(RelationConfig::new(0, 1, t_max).with_boundary(policy));
+        // The two conversions intern events in different orders, so raw
+        // EventId-based pattern keys are not comparable across them —
+        // render through each database's own registry instead.
+        let labelled = |db: &ftpm_events::SequenceDatabase| {
+            let result = mine_exact(db, &cfg);
+            let keys: std::collections::HashSet<String> = result
+                .patterns
+                .iter()
+                .map(|p| p.pattern.display(db.registry()).to_string())
+                .collect();
+            (result, keys)
+        };
+        let (base, base_keys) = labelled(&unsplit_db);
+        let (split, split_keys) = labelled(&overlapped_db);
+        let missing = base_keys.difference(&split_keys).count();
+        let extra = split_keys.difference(&base_keys).count();
+        let equal = missing == 0 && extra == 0;
+        if policy == BoundaryPolicy::TrueExtent {
+            true_extent_equal = equal;
+        }
+        report.row(vec![
+            policy.to_string(),
+            base.len().to_string(),
+            split.len().to_string(),
+            missing.to_string(),
+            extra.to_string(),
+            equal.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"policy\": \"{policy}\", \"baseline_patterns\": {}, \
+             \"split_patterns\": {}, \"missing\": {missing}, \"extra\": {extra}, \
+             \"equal\": {equal}}}",
+            base.len(),
+            split.len(),
+        ));
+    }
+    report.finish();
+
+    // Machine-readable summary for the CI boundary-equivalence gate.
+    let json = format!(
+        "{{\n  \"experiment\": \"boundary_equivalence\",\n  \"dataset\": \"{}\",\n  \
+         \"window\": {window},\n  \"overlap\": {t_max},\n  \"t_max\": {t_max},\n  \
+         \"scale\": {},\n  \"true_extent_equal\": {true_extent_equal},\n  \
+         \"policies\": [\n{}\n  ]\n}}\n",
+        data.name,
+        opts.scale,
+        json_rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/boundary_equivalence.json", json) {
+        Ok(()) => println!("wrote results/boundary_equivalence.json"),
+        Err(e) => eprintln!("could not write results/boundary_equivalence.json: {e}"),
+    }
+    true_extent_equal
+}
+
 fn scalability(name: &str, data: &Dataset, opts: &Opts, by_sequences: bool) {
     let methods = [
         Method::AHtpgm(0.6),

@@ -168,15 +168,27 @@ impl L2Engine<'_> {
         ];
         let mut occs: [Vec<(u32, Vec<u32>)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
 
+        // The boundary policy decides which interval of each instance the
+        // relation model sees (clipped view, true run extent, or none at
+        // all). Under `Discard` the index already hides clipped instances,
+        // so the `None` arms are just belt-and-braces.
+        let rel = &self.cfg.relation;
         for seq_id in joint.iter_ones() {
             let seq = &self.db.sequences()[seq_id];
             for &ii in self.index.instances_in(seq_id, ei) {
                 let inst_i = &seq.instances()[ii as usize];
+                let Some(iv_i) = rel.effective_interval(inst_i) else {
+                    continue;
+                };
+                let key_i = rel.effective_key(inst_i);
                 for &jj in self.index.instances_in(seq_id, ej) {
                     let inst_j = &seq.instances()[jj as usize];
+                    let Some(iv_j) = rel.effective_interval(inst_j) else {
+                        continue;
+                    };
                     // The node (Ei, Ej) binds Ei to the chronologically first
                     // instance; the opposite order belongs to node (Ej, Ei).
-                    if inst_i.chrono_key() >= inst_j.chrono_key() {
+                    if key_i >= rel.effective_key(inst_j) {
                         continue;
                     }
                     stats.instance_checks += 1;
@@ -185,16 +197,11 @@ impl L2Engine<'_> {
                     // a t_max window — so that every prefix of a valid
                     // occurrence is itself valid and level-wise growth stays
                     // complete (see DESIGN.md).
-                    let max_end = inst_i.interval.end.max(inst_j.interval.end);
-                    if !self
-                        .cfg
-                        .relation
-                        .within_t_max(inst_i.interval.start, max_end)
-                    {
+                    let max_end = iv_i.end.max(iv_j.end);
+                    if !rel.within_t_max(iv_i.start, max_end) {
                         continue;
                     }
-                    if let Some(r) = self.cfg.relation.relate(&inst_i.interval, &inst_j.interval)
-                    {
+                    if let Some(r) = rel.relate(&iv_i, &iv_j) {
                         bitmaps[r.index()].set(seq_id);
                         occs[r.index()].push((seq_id as u32, vec![ii, jj]));
                     }

@@ -89,6 +89,28 @@ pub fn mine_exact_with_sink(
 /// Occurrence accumulator: supporting-sequence bitmap + bound tuples.
 type OccAccum = (Bitmap, Vec<(u32, Vec<u32>)>);
 
+/// Records how many instances of `db` carry a window-boundary clip, and
+/// how many of those the active [`ftpm_events::BoundaryPolicy`] drops
+/// outright — the run-level observability half of the boundary-artifact
+/// story (the per-pattern half is `clipped_occurrences`).
+pub(crate) fn record_boundary_stats(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    stats: &mut MiningStats,
+) {
+    let clipped = db
+        .sequences()
+        .iter()
+        .flat_map(|s| s.instances())
+        .filter(|i| i.is_clipped())
+        .count() as u64;
+    stats.clipped_instances = clipped;
+    stats.discarded_instances = match cfg.relation.boundary {
+        ftpm_events::BoundaryPolicy::Discard => clipped,
+        _ => 0,
+    };
+}
+
 /// Packs a relation column into 2 bits per entry (values 1..=3 so the
 /// packing is injective for a fixed length).
 #[inline]
@@ -115,8 +137,9 @@ pub(crate) fn mine_internal(
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
-    let index = DatabaseIndex::build(db);
+    let index = DatabaseIndex::build_with_policy(db, cfg.relation.boundary);
     let mut stats = MiningStats::default();
+    record_boundary_stats(db, cfg, &mut stats);
     stats.nodes_verified.push(0);
 
     // ---- L1: frequent single events (Alg. 1 lines 1–4) ----
@@ -169,6 +192,7 @@ pub(crate) fn mine_internal(
     // bindings are released as soon as its subtree is done — this is
     // what keeps HTPGM's memory footprint below the list-materializing
     // baselines (Table VIII).
+    let db_has_clipped = stats.clipped_instances > 0;
     let mut grow = GrowContext {
         db,
         cfg,
@@ -179,7 +203,7 @@ pub(crate) fn mine_internal(
         max_events,
         stats: &mut stats,
         sink,
-        n_seqs,
+        db_has_clipped,
     };
     for node in level_nodes {
         grow.grow_node(node, 3);
@@ -206,6 +230,7 @@ pub(crate) fn extend_node(
     pair_relations: &PairRelations,
 ) -> Option<WorkNode> {
     let n_seqs = db.len();
+    let rel = &cfg.relation;
     let mut new_patterns: Vec<WorkPattern> = Vec::new();
 
     for parent in &node.patterns {
@@ -217,32 +242,40 @@ pub(crate) fn extend_node(
                 continue;
             }
             let seq = &db.sequences()[*seq_id as usize];
-            let last_key = seq.instances()[*tuple.last().expect("non-empty") as usize]
-                .chrono_key();
-            let first_start = seq.instances()[tuple[0] as usize].interval.start;
+            // Bound instances passed the boundary policy when the parent
+            // occurrence was built, so their effective interval exists.
+            let bound_iv = |ti: u32| {
+                rel.effective_interval(&seq.instances()[ti as usize])
+                    .expect("bound instances pass the boundary policy")
+            };
+            let last_key =
+                rel.effective_key(&seq.instances()[*tuple.last().expect("non-empty") as usize]);
+            let first_start = bound_iv(tuple[0]).start;
             let tuple_max_end = tuple
                 .iter()
-                .map(|&ti| seq.instances()[ti as usize].interval.end)
+                .map(|&ti| bound_iv(ti).end)
                 .max()
                 .expect("non-empty");
             for &xi in index.instances_in(*seq_id as usize, ek) {
                 let x = &seq.instances()[xi as usize];
+                let Some(x_iv) = rel.effective_interval(x) else {
+                    continue;
+                };
                 // The new instance must be chronologically last so each
                 // occurrence is enumerated exactly once (Lemma 4 adds the
                 // new instance at the end of the sequence order).
-                if x.chrono_key() <= last_key {
+                if rel.effective_key(x) <= last_key {
                     continue;
                 }
                 stats.instance_checks += 1;
-                let max_end = tuple_max_end.max(x.interval.end);
-                if !cfg.relation.within_t_max(first_start, max_end) {
+                let max_end = tuple_max_end.max(x_iv.end);
+                if !rel.within_t_max(first_start, max_end) {
                     continue;
                 }
                 let mut code = 0u64;
                 let mut ok = true;
                 for (pos, &ti) in tuple.iter().enumerate() {
-                    let inst = &seq.instances()[ti as usize];
-                    match cfg.relation.relate(&inst.interval, &x.interval) {
+                    match rel.relate(&bound_iv(ti), &x_iv) {
                         Some(r) => {
                             // Lemmas 4–7: the triple (E_pos, r, E_k) must
                             // itself be a frequent, confident 2-event
@@ -317,7 +350,10 @@ pub(crate) struct GrowContext<'a> {
     pub(crate) max_events: usize,
     pub(crate) stats: &'a mut MiningStats,
     pub(crate) sink: &'a mut dyn PatternSink,
-    pub(crate) n_seqs: usize,
+    /// Whether the database contains any boundary-clipped instance —
+    /// lets [`archive_node`] skip the per-occurrence artifact scan when
+    /// every count would be 0.
+    pub(crate) db_has_clipped: bool,
 }
 
 impl GrowContext<'_> {
@@ -326,7 +362,7 @@ impl GrowContext<'_> {
     /// bindings die when this frame returns.
     pub(crate) fn grow_node(&mut self, node: WorkNode, k: usize) {
         if k > self.max_events {
-            archive_node(self.sink, self.n_seqs, node, k - 1);
+            archive_node(self.sink, self.db, self.db_has_clipped, node, k - 1);
             return;
         }
         while self.stats.nodes_verified.len() < k - 1 {
@@ -380,7 +416,7 @@ impl GrowContext<'_> {
         }
         // The parent's occurrences are no longer needed once all its
         // children have been generated.
-        archive_node(self.sink, self.n_seqs, node, k - 1);
+        archive_node(self.sink, self.db, self.db_has_clipped, node, k - 1);
         for child in children {
             self.grow_node(child, k + 1);
         }
@@ -388,21 +424,42 @@ impl GrowContext<'_> {
 }
 
 /// Emits a finished node into the sink, dropping occurrence bindings.
-/// `k` is the node's event count; its level slot is `k - 2`.
+/// `k` is the node's event count; its level slot is `k - 2`. Before the
+/// bindings die, each pattern counts how many of its occurrences touch a
+/// boundary-clipped instance — the per-pattern artifact measure exported
+/// through the sinks. `db_has_clipped` (false for unsplit or
+/// cleanly-tiled databases) skips that occurrence scan on the hot
+/// archive path when the answer can only be 0.
 pub(crate) fn archive_node(
     sink: &mut dyn PatternSink,
-    n_seqs: usize,
+    db: &SequenceDatabase,
+    db_has_clipped: bool,
     node: WorkNode,
     k: usize,
 ) {
+    let n_seqs = db.len();
     let patterns: Vec<FrequentPattern> = node
         .patterns
         .into_iter()
-        .map(|wp| FrequentPattern {
-            pattern: wp.pattern,
-            support: wp.support,
-            rel_support: wp.support as f64 / n_seqs.max(1) as f64,
-            confidence: wp.confidence,
+        .map(|wp| {
+            let clipped_occurrences = if !db_has_clipped {
+                0
+            } else {
+                wp.occurrences
+                    .iter()
+                    .filter(|(seq_id, tuple)| {
+                        let insts = db.sequences()[*seq_id as usize].instances();
+                        tuple.iter().any(|&ti| insts[ti as usize].is_clipped())
+                    })
+                    .count()
+            };
+            FrequentPattern {
+                pattern: wp.pattern,
+                support: wp.support,
+                rel_support: wp.support as f64 / n_seqs.max(1) as f64,
+                confidence: wp.confidence,
+                clipped_occurrences,
+            }
         })
         .collect();
     sink.node(node.events, node.support, k, patterns);

@@ -1,5 +1,5 @@
 use ftpm_bitmap::Bitmap;
-use ftpm_events::{EventId, SequenceDatabase};
+use ftpm_events::{BoundaryPolicy, EventId, SequenceDatabase};
 
 /// Precomputed per-event access structures over a [`SequenceDatabase`]:
 /// the single-event bitmaps of HTPGM's L1 (built with one scan of
@@ -19,12 +19,26 @@ pub struct DatabaseIndex {
 impl DatabaseIndex {
     /// Builds the index with a single pass over the database.
     pub fn build(db: &SequenceDatabase) -> Self {
+        DatabaseIndex::build_with_policy(db, BoundaryPolicy::Clip)
+    }
+
+    /// Builds the index under a boundary policy. With
+    /// [`BoundaryPolicy::Discard`], instances clipped at a window
+    /// boundary are invisible: they contribute to neither the bitmaps,
+    /// nor the supports (and hence confidence denominators), nor the
+    /// per-sequence instance lists — as if the split had never emitted
+    /// them. The other policies index every instance.
+    pub fn build_with_policy(db: &SequenceDatabase, policy: BoundaryPolicy) -> Self {
         let n_events = db.registry().len();
         let n_seqs = db.len();
         let mut bitmaps = vec![Bitmap::new(n_seqs); n_events];
         let mut instances = vec![vec![Vec::new(); n_events]; n_seqs];
+        let discard = policy == BoundaryPolicy::Discard;
         for (si, seq) in db.sequences().iter().enumerate() {
             for (ii, inst) in seq.instances().iter().enumerate() {
+                if discard && inst.is_clipped() {
+                    continue;
+                }
                 let e = inst.event.0 as usize;
                 bitmaps[e].set(si);
                 instances[si][e].push(ii as u32);
@@ -101,5 +115,29 @@ mod tests {
         assert_eq!(idx.instances_in(0, EventId(0)), &[0, 2]);
         assert_eq!(idx.instances_in(0, EventId(1)), &[1]);
         assert_eq!(idx.instances_in(1, EventId(0)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn discard_policy_hides_clipped_instances() {
+        use ftpm_events::{BoundaryPolicy, Interval};
+        let mut reg = EventRegistry::new();
+        let a = reg.intern(VariableId(0), SymbolId(1), || "A".into());
+        // Sequence 0: one clipped A; sequence 1: one clean A.
+        let clipped = EventInstance::with_extent(
+            a,
+            Interval::new(0, 5),
+            Interval::new(-3, 5),
+        );
+        let s0 = TemporalSequence::new(vec![clipped]);
+        let s1 = TemporalSequence::new(vec![EventInstance::new(a, 1, 2)]);
+        let db = SequenceDatabase::new(reg, vec![s0, s1]);
+
+        let full = DatabaseIndex::build(&db);
+        assert_eq!(full.support(a), 2);
+        let filtered = DatabaseIndex::build_with_policy(&db, BoundaryPolicy::Discard);
+        assert_eq!(filtered.support(a), 1, "clipped instance invisible");
+        assert!(!filtered.bitmap(a).get(0));
+        assert!(filtered.bitmap(a).get(1));
+        assert_eq!(filtered.instances_in(0, a), &[] as &[u32]);
     }
 }

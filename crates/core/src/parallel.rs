@@ -64,10 +64,9 @@ pub fn mine_exact_parallel_with_sink(
     if n_threads == 1 {
         return crate::exact::mine_internal(db, cfg, None, sink);
     }
-    let n_seqs = db.len();
-    let sigma_abs = cfg.absolute_support(n_seqs);
+    let sigma_abs = cfg.absolute_support(db.len());
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
-    let index = DatabaseIndex::build(db);
+    let index = DatabaseIndex::build_with_policy(db, cfg.relation.boundary);
 
     // ---- L1 ----
     let freq_events: Vec<EventId> = db
@@ -124,6 +123,8 @@ pub fn mine_exact_parallel_with_sink(
     });
 
     let mut stats = MiningStats::default();
+    crate::exact::record_boundary_stats(db, cfg, &mut stats);
+    let db_has_clipped = stats.clipped_instances > 0;
     stats.nodes_verified.push(0);
     stats.nodes_kept.push(0);
     stats.patterns_found.push(0);
@@ -185,7 +186,7 @@ pub fn mine_exact_parallel_with_sink(
                             max_events,
                             stats: &mut shard_stats,
                             sink: &mut worker_sink,
-                            n_seqs,
+                            db_has_clipped,
                         };
                         grow.grow_node(node, 3);
                     }
@@ -285,4 +286,8 @@ fn merge_stats(into: &mut MiningStats, from: MiningStats) {
     into.instance_checks += from.instance_checks;
     into.apriori_pruned += from.apriori_pruned;
     into.transitivity_pruned += from.transitivity_pruned;
+    // Boundary counts describe the database, not per-shard work: they
+    // are recorded once up front, and shard stats carry zeros.
+    into.clipped_instances += from.clipped_instances;
+    into.discarded_instances += from.discarded_instances;
 }

@@ -27,9 +27,9 @@ use crate::result::{FrequentPattern, MiningResult, MiningStats};
 pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
-    let index = DatabaseIndex::build(db);
+    let index = DatabaseIndex::build_with_policy(db, cfg.relation.boundary);
 
-    let mut support: HashMap<Pattern, Bitmap> = HashMap::new();
+    let mut support: HashMap<Pattern, PatternAccum> = HashMap::new();
 
     for (seq_id, seq) in db.sequences().iter().enumerate() {
         let insts = seq.instances();
@@ -40,6 +40,9 @@ pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult 
         let mut tuple: Vec<usize> = Vec::new();
         let mut rels: Vec<TemporalRelation> = Vec::new();
         for start in 0..insts.len() {
+            if cfg.relation.effective_interval(&insts[start]).is_none() {
+                continue; // discarded by the boundary policy
+            }
             tuple.push(start);
             dfs(
                 db,
@@ -57,8 +60,8 @@ pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult 
 
     let mut patterns: Vec<FrequentPattern> = support
         .into_iter()
-        .filter_map(|(pattern, bitmap)| {
-            let supp = bitmap.count_ones();
+        .filter_map(|(pattern, accum)| {
+            let supp = accum.bitmap.count_ones();
             if supp < sigma_abs {
                 return None;
             }
@@ -77,6 +80,7 @@ pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult 
                 support: supp,
                 rel_support: supp as f64 / n_seqs.max(1) as f64,
                 confidence,
+                clipped_occurrences: accum.clipped_occurrences,
             })
         })
         .collect();
@@ -104,6 +108,13 @@ pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult 
     }
 }
 
+/// Per-pattern accumulator: supporting-sequence bitmap plus the count of
+/// occurrences touching a boundary-clipped instance.
+struct PatternAccum {
+    bitmap: Bitmap,
+    clipped_occurrences: usize,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn dfs(
     db: &SequenceDatabase,
@@ -112,47 +123,56 @@ fn dfs(
     n_insts: usize,
     tuple: &mut Vec<usize>,
     rels: &mut Vec<TemporalRelation>,
-    support: &mut HashMap<Pattern, Bitmap>,
+    support: &mut HashMap<Pattern, PatternAccum>,
     _sigma_abs: usize,
 ) {
     let insts = db.sequences()[seq_id].instances();
+    let rel = &cfg.relation;
     if tuple.len() >= 2 {
         let pattern = Pattern::new(
             tuple.iter().map(|&i| insts[i].event).collect(),
             rels.clone(),
         );
-        support
-            .entry(pattern)
-            .or_insert_with(|| Bitmap::new(db.len()))
-            .set(seq_id);
+        let accum = support.entry(pattern).or_insert_with(|| PatternAccum {
+            bitmap: Bitmap::new(db.len()),
+            clipped_occurrences: 0,
+        });
+        accum.bitmap.set(seq_id);
+        if tuple.iter().any(|&i| insts[i].is_clipped()) {
+            accum.clipped_occurrences += 1;
+        }
     }
     if tuple.len() >= cfg.max_events.min(12) {
         // Hard cap of 12 events keeps accidental misuse from exploding.
         return;
     }
-    let first_start = insts[tuple[0]].interval.start;
+    // Tuple members passed the boundary policy when they were pushed.
+    let bound_iv = |i: usize| {
+        rel.effective_interval(&insts[i])
+            .expect("bound instances pass the boundary policy")
+    };
+    let first_start = bound_iv(tuple[0]).start;
     let tuple_max_end = tuple
         .iter()
-        .map(|&i| insts[i].interval.end)
+        .map(|&i| bound_iv(i).end)
         .max()
         .expect("non-empty");
-    let last_key = insts[*tuple.last().expect("non-empty")].chrono_key();
+    let last_key = rel.effective_key(&insts[*tuple.last().expect("non-empty")]);
 
-    for next in 0..n_insts {
-        let x = &insts[next];
-        if x.chrono_key() <= last_key {
+    for (next, x) in insts.iter().enumerate().take(n_insts) {
+        let Some(x_iv) = rel.effective_interval(x) else {
+            continue;
+        };
+        if rel.effective_key(x) <= last_key {
             continue;
         }
-        if !cfg
-            .relation
-            .within_t_max(first_start, tuple_max_end.max(x.interval.end))
-        {
+        if !rel.within_t_max(first_start, tuple_max_end.max(x_iv.end)) {
             continue;
         }
         let mut new_rels = Vec::with_capacity(tuple.len());
         let mut ok = true;
         for &ti in tuple.iter() {
-            match cfg.relation.relate(&insts[ti].interval, &x.interval) {
+            match rel.relate(&bound_iv(ti), &x_iv) {
                 Some(r) => new_rels.push(r),
                 None => {
                     ok = false;

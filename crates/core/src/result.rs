@@ -18,6 +18,14 @@ pub struct FrequentPattern {
     pub rel_support: f64,
     /// Confidence (Def 3.16): `supp(P) / max_k supp(E_k)`.
     pub confidence: f64,
+    /// How many of the pattern's bound occurrences include at least one
+    /// instance clipped at a window boundary — occurrences that may be
+    /// boundary artifacts under [`ftpm_events::BoundaryPolicy::Clip`]
+    /// (always 0 under `Discard`; under `TrueExtent` the count is real
+    /// occurrences that happen to touch a cut). Reported by the HPG
+    /// miners; 0 for producers that do not bind occurrences (the
+    /// baseline miners).
+    pub clipped_occurrences: usize,
 }
 
 /// Counters describing one mining run — used by the ablation experiments
@@ -39,6 +47,13 @@ pub struct MiningStats {
     /// Extension candidates discarded by the transitivity / L2 lookup
     /// (Lemmas 4–7).
     pub transitivity_pruned: u64,
+    /// Instances of the mined database whose run was clipped at a window
+    /// boundary by the split (either side).
+    pub clipped_instances: u64,
+    /// Clipped instances dropped outright because the run used
+    /// [`ftpm_events::BoundaryPolicy::Discard`] (0 under the other
+    /// policies).
+    pub discarded_instances: u64,
 }
 
 /// The output of a mining run.
@@ -118,6 +133,7 @@ mod tests {
             support,
             rel_support: support as f64 / 4.0,
             confidence: 0.8,
+            clipped_occurrences: 0,
         }
     }
 

@@ -206,9 +206,12 @@ fn json_escape(s: &str, out: &mut String) {
 }
 
 /// Streams patterns as CSV rows
-/// (`pattern,length,support,rel_support,confidence`), one row per
-/// pattern, header first. Pattern text uses the paper's triple notation
-/// rendered through the event registry.
+/// (`pattern,length,support,rel_support,confidence,clipped_occurrences`),
+/// one row per pattern, header first. Pattern text uses the paper's
+/// triple notation rendered through the event registry;
+/// `clipped_occurrences` counts the pattern's bound occurrences that
+/// touch a window-boundary-clipped instance (see
+/// [`FrequentPattern::clipped_occurrences`]).
 pub struct CsvSink<'r, W: Write> {
     out: W,
     registry: &'r EventRegistry,
@@ -248,7 +251,7 @@ impl<W: Write> PatternSink for CsvSink<'_, W> {
     fn begin(&mut self, _frequent_events: &[(EventId, usize)]) {
         self.line.clear();
         self.line
-            .push_str("pattern,length,support,rel_support,confidence\n");
+            .push_str("pattern,length,support,rel_support,confidence,clipped_occurrences\n");
         self.put();
     }
 
@@ -266,8 +269,8 @@ impl<W: Write> PatternSink for CsvSink<'_, W> {
             csv_field(&text, &mut self.line);
             let _ = writeln!(
                 self.line,
-                ",{k},{},{},{}",
-                fp.support, fp.rel_support, fp.confidence
+                ",{k},{},{},{},{}",
+                fp.support, fp.rel_support, fp.confidence, fp.clipped_occurrences
             );
             self.put();
             if self.err.is_some() {
@@ -287,7 +290,9 @@ impl<W: Write> PatternSink for CsvSink<'_, W> {
 
 /// Streams patterns as JSON Lines: one object per pattern with fields
 /// `pattern` (rendered triple notation), `events` (raw event ids),
-/// `length`, `support`, `rel_support`, `confidence`.
+/// `length`, `support`, `rel_support`, `confidence`, and
+/// `clipped_occurrences` (occurrences touching a window-boundary-clipped
+/// instance, see [`FrequentPattern::clipped_occurrences`]).
 pub struct JsonlSink<'r, W: Write> {
     out: W,
     registry: &'r EventRegistry,
@@ -340,8 +345,9 @@ impl<W: Write> PatternSink for JsonlSink<'_, W> {
             }
             let _ = writeln!(
                 self.line,
-                "],\"length\":{k},\"support\":{},\"rel_support\":{},\"confidence\":{}}}",
-                fp.support, fp.rel_support, fp.confidence
+                "],\"length\":{k},\"support\":{},\"rel_support\":{},\"confidence\":{},\
+                 \"clipped_occurrences\":{}}}",
+                fp.support, fp.rel_support, fp.confidence, fp.clipped_occurrences
             );
             if let Err(e) = self.out.write_all(self.line.as_bytes()) {
                 self.err = Some(e);
@@ -398,6 +404,7 @@ mod tests {
             support,
             rel_support: support as f64 / 4.0,
             confidence: 0.8,
+            clipped_occurrences: 0,
         }
     }
 
@@ -444,6 +451,7 @@ mod tests {
                     support: 3,
                     rel_support: 0.75,
                     confidence: 0.8,
+                    clipped_occurrences: 2,
                 }],
             );
             assert_eq!(sink.written(), 1);
@@ -453,11 +461,11 @@ mod tests {
         let mut lines = text.lines();
         assert_eq!(
             lines.next(),
-            Some("pattern,length,support,rel_support,confidence")
+            Some("pattern,length,support,rel_support,confidence,clipped_occurrences")
         );
         let row = lines.next().expect("one row");
         assert!(row.starts_with("\"(A\"\"q\"\"=On Follow B=On)\","), "{row}");
-        assert!(row.ends_with(",2,3,0.75,0.8"), "{row}");
+        assert!(row.ends_with(",2,3,0.75,0.8,2"), "{row}");
     }
 
     #[test]
@@ -479,6 +487,7 @@ mod tests {
                     support: 2,
                     rel_support: 0.5,
                     confidence: 1.0,
+                    clipped_occurrences: 1,
                 }],
             );
             sink.finish().expect("no io error");
@@ -489,7 +498,8 @@ mod tests {
         assert_eq!(
             lines[0],
             "{\"pattern\":\"(A=On Contain B=On)\",\"events\":[0,1],\
-             \"length\":2,\"support\":2,\"rel_support\":0.5,\"confidence\":1}"
+             \"length\":2,\"support\":2,\"rel_support\":0.5,\"confidence\":1,\
+             \"clipped_occurrences\":1}"
         );
     }
 

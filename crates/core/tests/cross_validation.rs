@@ -78,6 +78,59 @@ fn exact_matches_reference_with_nontrivial_relation_config() {
 }
 
 #[test]
+fn exact_matches_reference_under_every_boundary_policy() {
+    use ftpm_core::mine_exact_parallel;
+    use ftpm_events::{to_sequence_database, BoundaryPolicy, SplitConfig};
+
+    // An overlapped split of real-shaped data, so plenty of instances
+    // are boundary-clipped and the policies actually disagree.
+    let data = ftpm_datagen::nist_like(0.005).project_variables(5);
+    let seq = to_sequence_database(&data.syb, SplitConfig::new(360, 180));
+    assert!(
+        seq.sequences()
+            .iter()
+            .flat_map(|s| s.instances())
+            .any(|i| i.is_clipped()),
+        "test needs clipped instances"
+    );
+    for policy in [
+        BoundaryPolicy::Clip,
+        BoundaryPolicy::TrueExtent,
+        BoundaryPolicy::Discard,
+    ] {
+        let cfg = MinerConfig::new(0.2, 0.2)
+            .with_max_events(3)
+            .with_relation(RelationConfig::new(0, 1, 180).with_boundary(policy));
+        let exact = mine_exact(&seq, &cfg);
+        let reference = mine_reference(&seq, &cfg);
+        assert_same_patterns(&exact, &reference, &format!("policy={policy}"));
+        let parallel = mine_exact_parallel(&seq, &cfg, 3);
+        assert_same_patterns(&exact, &parallel, &format!("policy={policy} parallel"));
+        // Both miners enumerate every occurrence exactly once, so the
+        // per-pattern boundary-artifact counts must agree too.
+        let clipped: HashMap<&Pattern, usize> = reference
+            .patterns
+            .iter()
+            .map(|p| (&p.pattern, p.clipped_occurrences))
+            .collect();
+        for p in &exact.patterns {
+            assert_eq!(
+                p.clipped_occurrences,
+                clipped[&p.pattern],
+                "policy={policy}: clipped_occurrences mismatch for {:?}",
+                p.pattern
+            );
+        }
+        if policy == BoundaryPolicy::Discard {
+            assert!(
+                exact.patterns.iter().all(|p| p.clipped_occurrences == 0),
+                "discard must never bind clipped instances"
+            );
+        }
+    }
+}
+
+#[test]
 fn all_pruning_configurations_agree() {
     // Pruning changes the work done, never the answer (Lemmas 2-7 are
     // lossless for the exact miner).

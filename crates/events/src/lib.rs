@@ -12,7 +12,13 @@
 //!   database `D_SEQ` (Defs 3.9–3.10, Table III);
 //! * [`SplitConfig`] / [`to_sequence_database`] — the overlapping splitting
 //!   strategy that converts `D_SYB` into `D_SEQ` without losing patterns
-//!   (Section IV-B2, Fig 3).
+//!   (Section IV-B2, Fig 3);
+//! * [`BoundaryPolicy`] — how miners treat instances whose runs the split
+//!   clipped at a window boundary: keep the clipped view (`Clip`, the
+//!   default), reason about the true run extent (`TrueExtent`), or drop
+//!   them (`Discard`). Every [`EventInstance`] carries both the clipped
+//!   interval and the unclipped extent, so the choice is made at mining
+//!   time, not at split time.
 //!
 //! ## Interval convention
 //!
@@ -30,7 +36,7 @@ mod sequence;
 mod split;
 
 pub use event::{EventId, EventRegistry};
-pub use instance::{EventInstance, Interval};
-pub use relation::{RelationConfig, TemporalRelation};
+pub use instance::{EventInstance, Interval, InvalidInterval};
+pub use relation::{BoundaryPolicy, RelationConfig, TemporalRelation};
 pub use sequence::{SequenceDatabase, TemporalSequence};
 pub use split::{to_sequence_database, SplitConfig};

@@ -1,6 +1,7 @@
 use serde::{Deserialize, Serialize};
 
-use crate::instance::Interval;
+use crate::event::EventId;
+use crate::instance::{EventInstance, Interval};
 
 /// The three temporal relations of the paper's simplified Allen model
 /// (Defs 3.6–3.8, Table II). `ℜ = {Follow, Contain, Overlap}`.
@@ -53,6 +54,66 @@ impl std::fmt::Display for TemporalRelation {
     }
 }
 
+/// How the miner treats event instances whose runs were clipped at a
+/// window boundary by the split (Section IV-B2).
+///
+/// Clipping a long run at a window cut fabricates one-or-two *short*
+/// instances; with the end-based `t_max` duration constraint this
+/// inflates support for short patterns and makes non-overlapping splits
+/// non-comparable across window placements. The policy decides which
+/// interval of an [`EventInstance`] the relation model and the duration
+/// constraint reason about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoundaryPolicy {
+    /// Use the window-clipped interval — the historical behaviour and
+    /// the default. Boundary artifacts are counted as real instances.
+    #[default]
+    Clip,
+    /// Use the true run extent: relations, chronological order and the
+    /// `t_max` constraint all apply to the run as it exists in the
+    /// underlying data. With an overlapped split of `t_ov = t_max`, the
+    /// per-window pattern sets match the unsplit database for every
+    /// pattern of true duration ≤ `t_max` (the Fig 3 lemma, exactly).
+    TrueExtent,
+    /// Drop instances clipped on either side: they take part in neither
+    /// single-event supports nor pattern occurrences. Conservative —
+    /// never counts an artifact, at the cost of losing real occurrences
+    /// near the cut.
+    Discard,
+}
+
+impl BoundaryPolicy {
+    /// The CLI spelling of the policy (`clip`, `true-extent`, `discard`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoundaryPolicy::Clip => "clip",
+            BoundaryPolicy::TrueExtent => "true-extent",
+            BoundaryPolicy::Discard => "discard",
+        }
+    }
+}
+
+impl std::fmt::Display for BoundaryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for BoundaryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "clip" => Ok(BoundaryPolicy::Clip),
+            "true-extent" | "true_extent" => Ok(BoundaryPolicy::TrueExtent),
+            "discard" => Ok(BoundaryPolicy::Discard),
+            other => Err(format!(
+                "unknown boundary policy {other:?} (use clip|true-extent|discard)"
+            )),
+        }
+    }
+}
+
 /// Parameters of the relation model and the pattern-duration constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RelationConfig {
@@ -66,6 +127,11 @@ pub struct RelationConfig {
     /// of a pattern occurrence must end within `t_max` of the first
     /// instance's start.
     pub t_max: i64,
+    /// Treatment of window-boundary-clipped instances. [`Clip`]
+    /// (the default) preserves the historical numbers.
+    ///
+    /// [`Clip`]: BoundaryPolicy::Clip
+    pub boundary: BoundaryPolicy,
 }
 
 impl Default for RelationConfig {
@@ -78,6 +144,7 @@ impl Default for RelationConfig {
             epsilon: 0,
             min_overlap: 1,
             t_max: i64::MAX / 4,
+            boundary: BoundaryPolicy::Clip,
         }
     }
 }
@@ -99,12 +166,51 @@ impl RelationConfig {
             epsilon,
             min_overlap,
             t_max,
+            boundary: BoundaryPolicy::Clip,
         }
     }
 
     /// Same config with a different `t_max`.
     pub fn with_t_max(self, t_max: i64) -> Self {
         RelationConfig { t_max, ..self }
+    }
+
+    /// Same config with a different boundary policy.
+    pub fn with_boundary(self, boundary: BoundaryPolicy) -> Self {
+        RelationConfig { boundary, ..self }
+    }
+
+    /// The interval of `inst` this config's boundary policy reasons
+    /// about, or `None` when the policy discards the instance outright.
+    ///
+    /// [`Clip`] sees the window-clipped interval, [`TrueExtent`] the full
+    /// run extent, and [`Discard`] refuses instances clipped on either
+    /// side.
+    ///
+    /// [`Clip`]: BoundaryPolicy::Clip
+    /// [`TrueExtent`]: BoundaryPolicy::TrueExtent
+    /// [`Discard`]: BoundaryPolicy::Discard
+    #[inline]
+    pub fn effective_interval(&self, inst: &EventInstance) -> Option<Interval> {
+        match self.boundary {
+            BoundaryPolicy::Clip => Some(inst.interval),
+            BoundaryPolicy::TrueExtent => Some(inst.extent),
+            BoundaryPolicy::Discard => (!inst.is_clipped()).then_some(inst.interval),
+        }
+    }
+
+    /// The chronological key matching [`effective_interval`]: miners must
+    /// bind occurrences in the order of the intervals they relate, so
+    /// under [`TrueExtent`] the key is the extent's.
+    ///
+    /// [`effective_interval`]: RelationConfig::effective_interval
+    /// [`TrueExtent`]: BoundaryPolicy::TrueExtent
+    #[inline]
+    pub fn effective_key(&self, inst: &EventInstance) -> (i64, i64, EventId) {
+        match self.boundary {
+            BoundaryPolicy::TrueExtent => inst.extent_key(),
+            BoundaryPolicy::Clip | BoundaryPolicy::Discard => inst.chrono_key(),
+        }
     }
 
     /// Determines the relation between two instances whose chronological
@@ -229,6 +335,45 @@ mod tests {
     #[should_panic(expected = "epsilon <= d_o")]
     fn epsilon_greater_than_min_overlap_panics() {
         let _ = RelationConfig::new(5, 2, 100);
+    }
+
+    #[test]
+    fn boundary_policy_parses_and_displays() {
+        for (text, policy) in [
+            ("clip", BoundaryPolicy::Clip),
+            ("true-extent", BoundaryPolicy::TrueExtent),
+            ("true_extent", BoundaryPolicy::TrueExtent),
+            ("discard", BoundaryPolicy::Discard),
+        ] {
+            assert_eq!(text.parse::<BoundaryPolicy>(), Ok(policy));
+        }
+        assert_eq!(BoundaryPolicy::TrueExtent.to_string(), "true-extent");
+        assert!("chop".parse::<BoundaryPolicy>().is_err());
+        assert_eq!(BoundaryPolicy::default(), BoundaryPolicy::Clip);
+    }
+
+    #[test]
+    fn effective_interval_follows_policy() {
+        use crate::instance::EventInstance;
+        let clipped = EventInstance::with_extent(
+            EventId(0),
+            Interval::new(10, 20),
+            Interval::new(4, 26),
+        );
+        let clean = EventInstance::new(EventId(1), 12, 18);
+        let base = RelationConfig::default();
+
+        let clip = base.with_boundary(BoundaryPolicy::Clip);
+        assert_eq!(clip.effective_interval(&clipped), Some(Interval::new(10, 20)));
+        assert_eq!(clip.effective_key(&clipped), clipped.chrono_key());
+
+        let ext = base.with_boundary(BoundaryPolicy::TrueExtent);
+        assert_eq!(ext.effective_interval(&clipped), Some(Interval::new(4, 26)));
+        assert_eq!(ext.effective_key(&clipped), clipped.extent_key());
+
+        let discard = base.with_boundary(BoundaryPolicy::Discard);
+        assert_eq!(discard.effective_interval(&clipped), None);
+        assert_eq!(discard.effective_interval(&clean), Some(clean.interval));
     }
 
     proptest! {

@@ -2,7 +2,7 @@ use ftpm_timeseries::SymbolicDatabase;
 use serde::{Deserialize, Serialize};
 
 use crate::event::EventRegistry;
-use crate::instance::EventInstance;
+use crate::instance::{EventInstance, Interval};
 use crate::sequence::{SequenceDatabase, TemporalSequence};
 
 /// Configuration of the D_SYB → D_SEQ conversion (Section IV-B2, Fig 3).
@@ -27,17 +27,59 @@ impl SplitConfig {
     ///
     /// Panics unless `window > 0` and `0 ≤ overlap < window`.
     pub fn new(window: i64, overlap: i64) -> Self {
-        assert!(window > 0, "window must be positive");
-        assert!(
-            (0..window).contains(&overlap),
-            "overlap must be in [0, window)"
-        );
-        SplitConfig { window, overlap }
+        SplitConfig::try_new(window, overlap).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`SplitConfig::new`] for values that come
+    /// from user input: returns a message instead of panicking when
+    /// `window <= 0` or `overlap ∉ [0, window)`.
+    pub fn try_new(window: i64, overlap: i64) -> Result<Self, String> {
+        if window <= 0 {
+            return Err(format!("window must be positive, got {window}"));
+        }
+        if !(0..window).contains(&overlap) {
+            return Err(format!(
+                "overlap must be in [0, window), got overlap {overlap} with window {window}"
+            ));
+        }
+        Ok(SplitConfig { window, overlap })
     }
 
     /// Distance between consecutive window starts.
     pub fn stride(&self) -> i64 {
         self.window - self.overlap
+    }
+
+    /// The config actually applied to a database sampled every `step`
+    /// ticks: windows are aligned to whole sampling steps, so `window`
+    /// and `overlap` are each rounded *down* to step boundaries (window
+    /// to at least one step, overlap to at most `window − step` so the
+    /// stride stays positive).
+    ///
+    /// Rounding the window and the stride independently — the historical
+    /// behaviour — could silently *grow* the effective overlap beyond
+    /// the requested one (e.g. `window = 20, overlap = 9, step = 10`
+    /// yielded a 10-tick overlap). Rounding window and overlap down
+    /// keeps `effective.overlap ≤ overlap` always. Use this to report
+    /// the geometry a run really used.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step > 0`.
+    pub fn effective(&self, step: i64) -> SplitConfig {
+        assert!(step > 0, "step must be positive, got {step}");
+        let win_steps = (self.window / step).max(1);
+        let ov_steps = (self.overlap / step).min(win_steps - 1);
+        SplitConfig {
+            window: win_steps * step,
+            overlap: ov_steps * step,
+        }
+    }
+}
+
+impl std::fmt::Display for SplitConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "window {} overlap {}", self.window, self.overlap)
     }
 }
 
@@ -49,10 +91,18 @@ impl SplitConfig {
 /// window boundaries. A sample at time `t` is considered to hold during
 /// `[t, t + step)`.
 ///
-/// Windows are aligned to whole sampling steps, so `window` and `overlap`
-/// should be multiples of `db.step()` (they are rounded down to step
-/// boundaries otherwise). Only full windows are emitted, matching the
-/// paper's equal-length sequences.
+/// Every instance also carries the **true extent** of its run — the full
+/// `[run start, run end)` interval in the underlying data, looking across
+/// window boundaries (and across the overlap region) — plus flags saying
+/// which side(s) the window clipped. The extent is what
+/// [`crate::BoundaryPolicy::TrueExtent`] mines on; with the default
+/// [`crate::BoundaryPolicy::Clip`] the clipped interval is used and the
+/// output is unchanged from previous versions.
+///
+/// Windows are aligned to whole sampling steps: `window` and `overlap`
+/// are rounded down to step boundaries as reported by
+/// [`SplitConfig::effective`]. Only full windows are emitted, matching
+/// the paper's equal-length sequences.
 ///
 /// # Examples
 ///
@@ -71,33 +121,56 @@ impl SplitConfig {
 /// ```
 pub fn to_sequence_database(db: &SymbolicDatabase, split: SplitConfig) -> SequenceDatabase {
     let step = db.step();
-    let win_steps = (split.window / step).max(1) as usize;
-    let stride_steps = (split.stride() / step).max(1) as usize;
+    let eff = split.effective(step);
+    let win_steps = (eff.window / step) as usize;
+    let stride_steps = (eff.stride() / step) as usize;
+    let n_steps = db.n_steps();
+
+    // Per-series maximal runs over the whole database, computed once so
+    // every window can report the true extent of each clipped run. Entry
+    // `starts[r]` is the step where run `r` begins; run `r` ends where
+    // run `r + 1` begins (or at `n_steps`).
+    let run_starts: Vec<Vec<usize>> = db
+        .iter()
+        .map(|(_, series)| {
+            let symbols = series.symbols();
+            let mut starts = Vec::new();
+            for i in 0..symbols.len() {
+                if i == 0 || symbols[i] != symbols[i - 1] {
+                    starts.push(i);
+                }
+            }
+            starts
+        })
+        .collect();
 
     let mut registry = EventRegistry::new();
     let mut sequences = Vec::new();
 
     let mut first = 0usize;
-    while first + win_steps <= db.n_steps() {
+    while first + win_steps <= n_steps {
+        let window_end = first + win_steps;
         let mut instances = Vec::new();
-        for (var, series) in db.iter() {
-            let symbols = &series.symbols()[first..first + win_steps];
-            let mut run_start = 0usize;
-            while run_start < symbols.len() {
+        for ((var, series), starts) in db.iter().zip(&run_starts) {
+            let symbols = series.symbols();
+            // Index of the run containing step `first`.
+            let mut ri = starts.partition_point(|&s| s <= first) - 1;
+            while ri < starts.len() && starts[ri] < window_end {
+                let run_start = starts[ri];
+                let run_end = starts.get(ri + 1).copied().unwrap_or(n_steps);
                 let sym = symbols[run_start];
-                let mut run_end = run_start + 1;
-                while run_end < symbols.len() && symbols[run_end] == sym {
-                    run_end += 1;
-                }
                 let event = registry.intern(var, sym, || {
                     format!("{}={}", series.name(), series.alphabet().label(sym))
                 });
-                instances.push(EventInstance::new(
+                instances.push(EventInstance::with_extent(
                     event,
-                    db.time_at(first + run_start),
-                    db.time_at(first + run_end),
+                    Interval::new(
+                        db.time_at(run_start.max(first)),
+                        db.time_at(run_end.min(window_end)),
+                    ),
+                    Interval::new(db.time_at(run_start), db.time_at(run_end)),
                 ));
-                run_start = run_end;
+                ri += 1;
             }
         }
         sequences.push(TemporalSequence::new(instances));
@@ -152,6 +225,10 @@ mod tests {
                 ("K=On".to_owned(), 4, 5),
             ]
         );
+        assert!(
+            seq.instances().iter().all(|i| !i.is_clipped()),
+            "single full window clips nothing"
+        );
     }
 
     #[test]
@@ -174,6 +251,46 @@ mod tests {
         assert_eq!(seq_db.len(), 2);
         assert_eq!(seq_db.sequences()[0].instances()[0].interval.end, 10);
         assert_eq!(seq_db.sequences()[1].instances()[0].interval.start, 10);
+    }
+
+    #[test]
+    fn clipped_instances_carry_the_true_extent() {
+        // One 20-tick On run cut into two 10-tick windows: each half
+        // keeps the full [0, 20) run as its extent.
+        let db = onoff_db(&[("K", "1111")], 5);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(10, 0));
+        let left = &seq_db.sequences()[0].instances()[0];
+        assert_eq!(left.interval, Interval::new(0, 10));
+        assert_eq!(left.extent, Interval::new(0, 20));
+        assert!(!left.clipped_left && left.clipped_right);
+        let right = &seq_db.sequences()[1].instances()[0];
+        assert_eq!(right.interval, Interval::new(10, 20));
+        assert_eq!(right.extent, Interval::new(0, 20));
+        assert!(right.clipped_left && !right.clipped_right);
+    }
+
+    #[test]
+    fn extent_reaches_across_the_overlap_region() {
+        // Run [2, 8) in windows of 4 with overlap 2 (stride 2): window
+        // [4, 8) sees [4, 8) clipped left; its extent is the full run,
+        // which begins inside the *previous* window's exclusive region.
+        let db = onoff_db(&[("K", "00111111")], 1);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(4, 2));
+        assert_eq!(seq_db.len(), 3);
+        let last = &seq_db.sequences()[2];
+        assert_eq!(last.len(), 1);
+        let on = &last.instances()[0];
+        assert_eq!(on.interval, Interval::new(4, 8));
+        assert_eq!(on.extent, Interval::new(2, 8));
+        assert!(on.clipped_left && !on.clipped_right);
+        // The middle window [2, 6) sees the same run clipped right only.
+        let mid = seq_db.sequences()[1]
+            .instances()
+            .iter()
+            .find(|i| i.interval == Interval::new(2, 6))
+            .expect("On instance in window [2, 6)");
+        assert_eq!(mid.extent, Interval::new(2, 8));
+        assert!(!mid.clipped_left && mid.clipped_right);
     }
 
     #[test]
@@ -208,5 +325,55 @@ mod tests {
     #[should_panic(expected = "overlap must be in")]
     fn overlap_ge_window_panics() {
         let _ = SplitConfig::new(10, 10);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        assert!(SplitConfig::try_new(10, 0).is_ok());
+        assert!(SplitConfig::try_new(0, 0)
+            .expect_err("zero window")
+            .contains("positive"));
+        assert!(SplitConfig::try_new(10, 10)
+            .expect_err("overlap == window")
+            .contains("[0, window)"));
+        assert!(SplitConfig::try_new(10, -1).is_err());
+    }
+
+    #[test]
+    fn effective_rounds_down_consistently() {
+        // Exact multiples pass through untouched.
+        assert_eq!(
+            SplitConfig::new(360, 60).effective(5),
+            SplitConfig::new(360, 60)
+        );
+        // The historical bug: window 20 / overlap 9 at step 10 used to
+        // produce an *effective* overlap of 10 > 9. Both values now
+        // round down.
+        assert_eq!(
+            SplitConfig::new(20, 9).effective(10),
+            SplitConfig::new(20, 0)
+        );
+        // window=360, step=7: window rounds to 357 (51 steps).
+        assert_eq!(
+            SplitConfig::new(360, 0).effective(7),
+            SplitConfig::new(357, 0)
+        );
+        // Overlap is capped so the stride stays at least one step.
+        let eff = SplitConfig::new(15, 12).effective(10);
+        assert_eq!(eff, SplitConfig::new(10, 0));
+        assert_eq!(eff.stride(), 10);
+        // A window smaller than one step is promoted to one step.
+        assert_eq!(SplitConfig::new(3, 0).effective(10).window, 10);
+    }
+
+    #[test]
+    fn non_multiple_overlap_no_longer_inflates_the_effective_overlap() {
+        // 8 steps of 10 ticks; window 20 (2 steps), requested overlap 9.
+        // The old rounding gave stride (20-9)/10 = 1 step => overlap 10;
+        // now the overlap rounds down to 0 => stride 2, 4 windows.
+        let db = onoff_db(&[("K", "10101010")], 10);
+        let seq_db = to_sequence_database(&db, SplitConfig::new(20, 9));
+        assert_eq!(seq_db.len(), 4);
+        assert_eq!(seq_db.sequences()[1].instances()[0].interval.start, 20);
     }
 }

@@ -47,6 +47,7 @@ fn print_help() {
 USAGE:
   ftpm mine  [--input FILE.csv | --demo nist|ukdale|dataport|city]
              [--sigma F] [--delta F] [--window MIN] [--overlap MIN]
+             [--boundary clip|true-extent|discard] [--t-max MIN]
              [--threshold F | --states N] [--scale F]
              [--mu F | --approx-density F] [--max-events N]
              [--threads N] [--output FILE.{{csv,jsonl}}] [--stream]
@@ -61,6 +62,12 @@ OPTIONS:
   --delta F          confidence threshold in (0,1]        [default 0.5]
   --window MIN       sequence window length in ticks      [default 360]
   --overlap MIN      window overlap t_ov in ticks         [default 0]
+  --boundary POLICY  treatment of window-boundary-clipped instances:
+                     clip (historical), true-extent (relations and t-max
+                     on the real run extents), discard (drop clipped
+                     instances)                           [default clip]
+  --t-max MIN        maximal pattern duration t_max in ticks
+                     [default: unconstrained]
   --threshold F      On/Off symbolization threshold       [default 0.05]
   --states N         use N quantile states instead of On/Off
   --mu F             A-HTPGM with explicit NMI threshold
@@ -85,6 +92,11 @@ struct Options {
     delta: f64,
     window: i64,
     overlap: i64,
+    /// The validated split geometry (`--window`/`--overlap`), built once
+    /// at the end of `parse` — the single place the values are checked.
+    split: SplitConfig,
+    boundary: BoundaryPolicy,
+    t_max: Option<i64>,
     threshold: f64,
     states: Option<usize>,
     mu: Option<f64>,
@@ -115,6 +127,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         delta: 0.5,
         window: 360,
         overlap: 0,
+        split: SplitConfig::new(360, 0),
+        boundary: BoundaryPolicy::Clip,
+        t_max: None,
         threshold: 0.05,
         states: None,
         mu: None,
@@ -142,6 +157,18 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--delta" => opt.delta = num(&value("--delta")?)?,
             "--window" => opt.window = num(&value("--window")?)? as i64,
             "--overlap" => opt.overlap = num(&value("--overlap")?)? as i64,
+            "--boundary" => {
+                opt.boundary = value("--boundary")?
+                    .parse()
+                    .map_err(|e| format!("--boundary: {e}"))?;
+            }
+            "--t-max" => {
+                let t_max = num(&value("--t-max")?)? as i64;
+                if t_max <= 0 {
+                    return Err(format!("--t-max must be positive, got {t_max}"));
+                }
+                opt.t_max = Some(t_max);
+            }
             "--threshold" => opt.threshold = num(&value("--threshold")?)?,
             "--states" => opt.states = Some(num(&value("--states")?)? as usize),
             "--mu" => opt.mu = Some(num(&value("--mu")?)?),
@@ -163,6 +190,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if opt.input.is_none() && opt.demo.is_none() {
         return Err("need --input FILE or --demo NAME".into());
+    }
+    // Validate the split geometry here instead of letting
+    // `SplitConfig::new` assert deep inside the pipeline: a bad value
+    // should be a usage error naming the flags, not a panic backtrace.
+    opt.split = SplitConfig::try_new(opt.window, opt.overlap)
+        .map_err(|e| format!("--window/--overlap: {e}"))?;
+    if !(opt.sigma > 0.0 && opt.sigma <= 1.0) {
+        return Err(format!("--sigma must be in (0, 1], got {}", opt.sigma));
+    }
+    if !(opt.delta > 0.0 && opt.delta <= 1.0) {
+        return Err(format!("--delta must be in (0, 1], got {}", opt.delta));
     }
     if opt.stream {
         if opt.output.is_none() {
@@ -237,7 +275,15 @@ fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase), String> {
             }
         }
     }
-    let seq = to_sequence_database(&syb, SplitConfig::new(opt.window, opt.overlap));
+    let split = opt.split;
+    let effective = split.effective(syb.step());
+    if effective != split {
+        eprintln!(
+            "note: split rounded to sampling steps of {}: requested {split}, effective {effective}",
+            syb.step(),
+        );
+    }
+    let seq = to_sequence_database(&syb, split);
     Ok((syb, seq))
 }
 
@@ -269,20 +315,22 @@ fn write_patterns(
 }
 
 /// Streams the mining run straight into `--output`; returns the number
-/// of patterns written.
+/// of patterns written and the run statistics.
 fn mine_streaming(
     seq: &SequenceDatabase,
     cfg: &MinerConfig,
     threads: usize,
     path: &str,
-) -> Result<u64, String> {
-    write_patterns(path, seq, &mut |sink| {
-        if threads > 1 {
-            mine_exact_parallel_with_sink(seq, cfg, threads, sink);
+) -> Result<(u64, MiningStats), String> {
+    let mut stats = MiningStats::default();
+    let written = write_patterns(path, seq, &mut |sink| {
+        stats = if threads > 1 {
+            mine_exact_parallel_with_sink(seq, cfg, threads, sink)
         } else {
-            mine_exact_with_sink(seq, cfg, sink);
-        }
-    })
+            mine_exact_with_sink(seq, cfg, sink)
+        };
+    })?;
+    Ok((written, stats))
 }
 
 /// Writes an already-mined result through the same sink machinery as the
@@ -325,7 +373,13 @@ fn run_mine(args: &[String]) -> ExitCode {
 fn try_mine(args: &[String]) -> Result<(), String> {
     let opt = parse(args)?;
     let (syb, seq) = load(&opt)?;
-    let cfg = MinerConfig::new(opt.sigma, opt.delta).with_max_events(opt.max_events.max(2));
+    let mut relation = RelationConfig::default().with_boundary(opt.boundary);
+    if let Some(t_max) = opt.t_max {
+        relation = relation.with_t_max(t_max);
+    }
+    let cfg = MinerConfig::new(opt.sigma, opt.delta)
+        .with_max_events(opt.max_events.max(2))
+        .with_relation(relation);
     let approx = opt.mu.is_some() || opt.density.is_some();
     // A-HTPGM has no parallel path; report the thread count actually used.
     let threads = if approx { 1 } else { opt.threads };
@@ -333,7 +387,7 @@ fn try_mine(args: &[String]) -> Result<(), String> {
     let started = std::time::Instant::now();
     if opt.stream {
         let path = opt.output.as_ref().expect("validated in parse");
-        let written = mine_streaming(&seq, &cfg, threads, path)?;
+        let (written, stats) = mine_streaming(&seq, &cfg, threads, path)?;
         let elapsed = started.elapsed();
         if opt.json {
             let payload = serde_json::json!({
@@ -341,6 +395,9 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 "sequences": seq.len(),
                 "distinct_events": seq.registry().len(),
                 "threads": threads,
+                "boundary": opt.boundary.as_str(),
+                "clipped_instances": stats.clipped_instances,
+                "discarded_instances": stats.discarded_instances,
                 "elapsed_ms": elapsed.as_millis() as u64,
                 "pattern_count": written,
                 "output": path.as_str(),
@@ -349,10 +406,13 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
         } else {
             println!(
-                "E-HTPGM: {} sequences, {} distinct events, {written} patterns \
-                 streamed to {path} in {elapsed:.1?} ({threads} threads)",
+                "E-HTPGM: {} sequences, {} distinct events ({} boundary-clipped \
+                 instances, boundary={}), {written} patterns streamed to {path} \
+                 in {elapsed:.1?} ({threads} threads)",
                 seq.len(),
                 seq.registry().len(),
+                stats.clipped_instances,
+                opt.boundary,
             );
         }
         return Ok(());
@@ -387,6 +447,9 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             "sequences": seq.len(),
             "distinct_events": seq.registry().len(),
             "threads": threads,
+            "boundary": opt.boundary.as_str(),
+            "clipped_instances": result.stats.clipped_instances,
+            "discarded_instances": result.stats.discarded_instances,
             "elapsed_ms": elapsed.as_millis() as u64,
             "pattern_count": result.len(),
             "patterns": selection.iter().map(|p| serde_json::json!({
@@ -394,6 +457,7 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 "support": p.support,
                 "rel_support": p.rel_support,
                 "confidence": p.confidence,
+                "clipped_occurrences": p.clipped_occurrences,
             })).collect::<Vec<_>>(),
         });
         if let (Some((path, _)), serde_json::Value::Object(entries)) = (&exported, &mut payload) {
@@ -413,6 +477,12 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             seq.registry().len(),
             result.len(),
         );
+        if opt.boundary != BoundaryPolicy::Clip || result.stats.clipped_instances > 0 {
+            println!(
+                "boundary={}: {} boundary-clipped instances, {} discarded",
+                opt.boundary, result.stats.clipped_instances, result.stats.discarded_instances,
+            );
+        }
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
         for fp in &selection {

@@ -59,8 +59,9 @@ pub use ftpm_datagen::{
     smartcity_like, ukdale_like, CityConfig, Dataset, EnergyConfig,
 };
 pub use ftpm_events::{
-    to_sequence_database, EventId, EventInstance, EventRegistry, Interval, RelationConfig,
-    SequenceDatabase, SplitConfig, TemporalRelation, TemporalSequence,
+    to_sequence_database, BoundaryPolicy, EventId, EventInstance, EventRegistry, Interval,
+    InvalidInterval, RelationConfig, SequenceDatabase, SplitConfig, TemporalRelation,
+    TemporalSequence,
 };
 pub use ftpm_mi::{
     conditional_entropy, confidence_lower_bound, entropy, joint_distribution, mu_for_density,

@@ -114,6 +114,50 @@ fn overlap_preserves_all_short_patterns_generically() {
 }
 
 #[test]
+fn true_extent_overlap_split_matches_the_unsplit_baseline_exactly() {
+    // The property repro_boundary asserts on the energy demo, on the
+    // Fig 3 cascade: under BoundaryPolicy::TrueExtent with t_ov = t_max,
+    // the overlapped split finds *exactly* the unsplit database's
+    // patterns of duration <= t_max — not just the lower bound the
+    // overlap lemma guarantees.
+    let syb = fig3_database();
+    let unsplit = to_sequence_database(&syb, SplitConfig::new(80, 0));
+    let overlapped = to_sequence_database(&syb, SplitConfig::new(60, 40));
+    let cfg = MinerConfig::new(0.01, 0.01)
+        .with_max_events(4)
+        .with_relation(RelationConfig::new(0, 1, 40).with_boundary(BoundaryPolicy::TrueExtent));
+    let labels = |db: &SequenceDatabase| -> std::collections::BTreeSet<String> {
+        mine_exact(db, &cfg)
+            .patterns
+            .iter()
+            .map(|p| p.pattern.display(db.registry()).to_string())
+            .collect()
+    };
+    let base = labels(&unsplit);
+    let split = labels(&overlapped);
+    assert!(!base.is_empty(), "the unsplit data must contain patterns");
+    assert_eq!(base, split, "true-extent split must equal the baseline");
+}
+
+#[test]
+fn clip_policy_default_reproduces_historical_results() {
+    // BoundaryPolicy::Clip is the default and must not change anything:
+    // same pattern set, supports and confidences as a config that never
+    // mentions the policy.
+    let syb = fig3_database();
+    let seq_db = to_sequence_database(&syb, SplitConfig::new(40, 0));
+    let plain = MinerConfig::new(0.01, 0.01)
+        .with_max_events(3)
+        .with_relation(RelationConfig::new(0, 1, 40));
+    let explicit = plain
+        .with_relation(RelationConfig::new(0, 1, 40).with_boundary(BoundaryPolicy::Clip));
+    let a = mine_exact(&seq_db, &plain);
+    let b = mine_exact(&seq_db, &explicit);
+    assert_eq!(a.patterns, b.patterns);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
 fn more_overlap_never_finds_fewer_patterns_here() {
     let syb = fig3_database();
     let cfg = MinerConfig::new(0.01, 0.01)
@@ -128,4 +172,191 @@ fn more_overlap_never_finds_fewer_patterns_here() {
         counts.windows(2).all(|w| w[0] <= w[1]),
         "pattern count should grow with overlap on the cascade data: {counts:?}"
     );
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a two-variable binary symbolic database from one bit
+    /// vector (the second variable is the negation, so both always have
+    /// runs everywhere) at the given step.
+    fn two_var_db(bits: &[u8], step: i64) -> SymbolicDatabase {
+        let mut syb = SymbolicDatabase::new(0, step, bits.len());
+        for (name, flip) in [("K", 0u8), ("T", 1u8)] {
+            let labels = bits
+                .iter()
+                .map(|&b| if b ^ flip == 1 { "On" } else { "Off" });
+            syb.push(SymbolicSeries::from_labels(name, Alphabet::on_off(), labels));
+        }
+        syb
+    }
+
+    /// The pre-extent splitting algorithm, reimplemented verbatim: slice
+    /// each window's symbols, merge runs, clip to the window. Returns
+    /// per-window sorted `(label, start, end)` triples.
+    fn naive_clip_split(
+        db: &SymbolicDatabase,
+        win_steps: usize,
+        stride_steps: usize,
+    ) -> Vec<Vec<(String, i64, i64)>> {
+        let mut windows = Vec::new();
+        let mut first = 0usize;
+        while first + win_steps <= db.n_steps() {
+            let mut rows = Vec::new();
+            for (_, series) in db.iter() {
+                let symbols = &series.symbols()[first..first + win_steps];
+                let mut run_start = 0usize;
+                while run_start < symbols.len() {
+                    let sym = symbols[run_start];
+                    let mut run_end = run_start + 1;
+                    while run_end < symbols.len() && symbols[run_end] == sym {
+                        run_end += 1;
+                    }
+                    rows.push((
+                        format!("{}={}", series.name(), series.alphabet().label(sym)),
+                        db.time_at(first + run_start),
+                        db.time_at(first + run_end),
+                    ));
+                    run_start = run_end;
+                }
+            }
+            rows.sort();
+            windows.push(rows);
+            first += stride_steps;
+        }
+        windows
+    }
+
+    proptest! {
+        /// (a) The emitted windows tile exactly the full-window prefix
+        /// of the data: per window and variable, the clipped intervals
+        /// partition the window span — no gaps, no spill-over — and
+        /// every extent contains its clipped interval, agreeing with
+        /// the clip flags.
+        #[test]
+        fn windows_cover_exactly_the_full_window_prefix(
+            bits in proptest::collection::vec(0u8..2, 8..64),
+            win in 2usize..9,
+            ov_seed in 0usize..8,
+            step in 1i64..4,
+        ) {
+            let ov = ov_seed % win;
+            let stride = win - ov;
+            let syb = two_var_db(&bits, step);
+            let seq_db = to_sequence_database(
+                &syb,
+                SplitConfig::new(win as i64 * step, ov as i64 * step),
+            );
+            let n = bits.len();
+            let expected = if n >= win { (n - win) / stride + 1 } else { 0 };
+            prop_assert_eq!(seq_db.len(), expected, "window count");
+            let reg = seq_db.registry();
+            for (k, seq) in seq_db.sequences().iter().enumerate() {
+                let span_start = (k * stride) as i64 * step;
+                let span_end = span_start + win as i64 * step;
+                for var in ["K", "T"] {
+                    let mut ivs: Vec<&EventInstance> = seq
+                        .instances()
+                        .iter()
+                        .filter(|i| reg.label(i.event).starts_with(var))
+                        .collect();
+                    ivs.sort_by_key(|i| i.interval.start);
+                    prop_assert!(!ivs.is_empty());
+                    prop_assert_eq!(ivs[0].interval.start, span_start);
+                    prop_assert_eq!(ivs.last().expect("non-empty").interval.end, span_end);
+                    for pair in ivs.windows(2) {
+                        prop_assert_eq!(pair[0].interval.end, pair[1].interval.start);
+                    }
+                    for i in &ivs {
+                        prop_assert!(i.extent.contains(&i.interval));
+                        prop_assert_eq!(i.clipped_left, i.extent.start < i.interval.start);
+                        prop_assert_eq!(i.clipped_right, i.extent.end > i.interval.end);
+                    }
+                }
+            }
+        }
+
+        /// (b) The overlap lemma, made exact: with
+        /// `BoundaryPolicy::TrueExtent` and `t_ov = t_max`, every
+        /// pattern of true duration ≤ t_max of the unsplit database is
+        /// found in some window — and the split fabricates nothing, so
+        /// the two pattern sets are equal. (Baselines compare by label:
+        /// the two conversions intern events in different orders.)
+        #[test]
+        fn true_extent_overlap_preserves_all_short_patterns(
+            bits in proptest::collection::vec(0u8..2, 16..56),
+            t_max in 3i64..8,
+            extra in 1i64..6,
+        ) {
+            let win = t_max + extra;
+            let stride = extra;
+            let n = bits.len() as i64;
+            prop_assume!(n >= win);
+            let syb = two_var_db(&bits, 1);
+            // The split emits only full windows; the baseline is the
+            // full-window prefix those windows tile.
+            let covered = ((n - win) / stride) * stride + win;
+            let unsplit = to_sequence_database(&syb, SplitConfig::new(covered, 0));
+            let overlapped =
+                to_sequence_database(&syb, SplitConfig::new(win, t_max));
+            let cfg = MinerConfig::new(0.01, 0.01)
+                .with_max_events(3)
+                .with_relation(
+                    RelationConfig::new(0, 1, t_max)
+                        .with_boundary(BoundaryPolicy::TrueExtent),
+                );
+            let labels = |db: &SequenceDatabase| -> std::collections::BTreeSet<String> {
+                mine_exact(db, &cfg)
+                    .patterns
+                    .iter()
+                    .map(|p| p.pattern.display(db.registry()).to_string())
+                    .collect()
+            };
+            let base = labels(&unsplit);
+            let split = labels(&overlapped);
+            for missing in base.difference(&split) {
+                prop_assert!(false, "pattern lost despite overlap: {missing}");
+            }
+            for extra in split.difference(&base) {
+                prop_assert!(false, "fabricated pattern: {extra}");
+            }
+        }
+
+        /// (c) `Clip` is the default and must reproduce the historical
+        /// split bit-for-bit: same windows, same clipped intervals, same
+        /// labels as the pre-extent algorithm.
+        #[test]
+        fn clip_reproduces_the_historical_split_exactly(
+            bits in proptest::collection::vec(0u8..2, 8..64),
+            win in 2usize..9,
+            ov_seed in 0usize..8,
+            step in 1i64..4,
+        ) {
+            let ov = ov_seed % win;
+            let syb = two_var_db(&bits, step);
+            let seq_db = to_sequence_database(
+                &syb,
+                SplitConfig::new(win as i64 * step, ov as i64 * step),
+            );
+            let golden = naive_clip_split(&syb, win, win - ov);
+            prop_assert_eq!(seq_db.len(), golden.len());
+            let reg = seq_db.registry();
+            for (seq, want) in seq_db.sequences().iter().zip(&golden) {
+                let mut got: Vec<(String, i64, i64)> = seq
+                    .instances()
+                    .iter()
+                    .map(|i| {
+                        (
+                            reg.label(i.event).to_owned(),
+                            i.interval.start,
+                            i.interval.end,
+                        )
+                    })
+                    .collect();
+                got.sort();
+                prop_assert_eq!(&got, want);
+            }
+        }
+    }
 }
