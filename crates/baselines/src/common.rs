@@ -1,17 +1,36 @@
 //! Shared plumbing for the baseline miners: event supports (counted by
 //! database scan, not bitmaps), pattern matching against a sequence, and
 //! result assembly.
+//!
+//! All of it goes through [`ftpm_events::RelationConfig::effective_interval`]
+//! / [`ftpm_events::RelationConfig::effective_key`], so the baselines
+//! honor the configured [`ftpm_events::BoundaryPolicy`] exactly like the
+//! HPG miners do (historically they silently mined the clipped view
+//! whatever the policy said).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use ftpm_core::{FrequentPattern, MinerConfig, MiningResult, MiningStats, Pattern};
 use ftpm_events::{EventId, SequenceDatabase, TemporalRelation, TemporalSequence};
 
 /// Event supports counted with one horizontal scan of the database.
-pub(crate) fn event_supports(db: &SequenceDatabase) -> HashMap<EventId, usize> {
+/// Instances the boundary policy discards are invisible — they feed
+/// neither supports nor confidence denominators, matching
+/// `DatabaseIndex::build_with_policy`.
+pub(crate) fn event_supports(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+) -> HashMap<EventId, usize> {
     let mut supports: HashMap<EventId, usize> = HashMap::new();
+    let mut seen: HashSet<EventId> = HashSet::new();
     for seq in db.sequences() {
-        for e in seq.distinct_events() {
+        seen.clear();
+        for inst in seq.instances() {
+            if cfg.relation.effective_interval(inst).is_some() {
+                seen.insert(inst.event);
+            }
+        }
+        for &e in &seen {
             *supports.entry(e).or_default() += 1;
         }
     }
@@ -35,13 +54,18 @@ pub(crate) fn max_event_support(
 /// Does `seq` support `pattern`? Backtracking search for a chronological
 /// instance binding satisfying every triple and the duration constraint —
 /// how IEMiner verifies candidates against the horizontal database.
+///
+/// "Chronological" means the boundary policy's effective key: under
+/// `TrueExtent` the extent order can disagree with the clipped index
+/// order the sequence is sorted by, so candidates are gated by key, not
+/// by position.
 pub(crate) fn sequence_supports(
     seq: &TemporalSequence,
     pattern: &Pattern,
     cfg: &MinerConfig,
 ) -> bool {
     let mut binding: Vec<usize> = Vec::with_capacity(pattern.len());
-    backtrack_from(seq.instances(), pattern, cfg, &mut binding, 0)
+    backtrack_from(seq.instances(), pattern, cfg, &mut binding)
 }
 
 fn backtrack_from(
@@ -49,46 +73,60 @@ fn backtrack_from(
     pattern: &Pattern,
     cfg: &MinerConfig,
     binding: &mut Vec<usize>,
-    from: usize,
 ) -> bool {
+    let rel = &cfg.relation;
     let pos = binding.len();
     if pos == pattern.len() {
         return true;
     }
+    // Under Clip/Discard the effective key order equals the sequence's
+    // index order, so the scan can skip everything up to the last bound
+    // position; only TrueExtent (extent order can disagree with index
+    // order) must rescan from the start and rely on the key gate alone.
+    let start = match (cfg.relation.boundary, binding.last()) {
+        (ftpm_events::BoundaryPolicy::TrueExtent, _) | (_, None) => 0,
+        (_, Some(&last)) => last + 1,
+    };
     let want = pattern.events()[pos];
-    for i in from..insts.len() {
-        let x = &insts[i];
+    for (i, x) in insts.iter().enumerate().skip(start) {
         if x.event != want {
             continue;
         }
+        let Some(x_iv) = rel.effective_interval(x) else {
+            continue; // discarded by the boundary policy
+        };
         if let Some(&last) = binding.last() {
-            if x.chrono_key() <= insts[last].chrono_key() {
+            if rel.effective_key(x) <= rel.effective_key(&insts[last]) {
                 continue;
             }
         }
+        // Bound instances passed the policy when they were pushed.
+        let bound_iv = |b: usize| {
+            rel.effective_interval(&insts[b])
+                .expect("bound instances pass the boundary policy")
+        };
         // Duration constraint: the whole occurrence fits in t_max.
         if !binding.is_empty() {
-            let first_start = insts[binding[0]].interval.start;
+            let first_start = bound_iv(binding[0]).start;
             let max_end = binding
                 .iter()
-                .map(|&b| insts[b].interval.end)
+                .map(|&b| bound_iv(b).end)
                 .max()
                 .expect("non-empty")
-                .max(x.interval.end);
-            if !cfg.relation.within_t_max(first_start, max_end) {
+                .max(x_iv.end);
+            if !rel.within_t_max(first_start, max_end) {
                 continue;
             }
         }
         // All relations to already-bound instances must match.
         let ok = binding.iter().enumerate().all(|(j, &b)| {
-            cfg.relation.relate(&insts[b].interval, &x.interval)
-                == Some(pattern.relation_between(j, pos))
+            rel.relate(&bound_iv(b), &x_iv) == Some(pattern.relation_between(j, pos))
         });
         if !ok {
             continue;
         }
         binding.push(i);
-        if backtrack_from(insts, pattern, cfg, binding, i + 1) {
+        if backtrack_from(insts, pattern, cfg, binding) {
             binding.pop();
             return true;
         }
@@ -120,9 +158,11 @@ pub(crate) fn assemble(
                 support: supp,
                 rel_support: supp as f64 / n.max(1) as f64,
                 confidence,
-                // Baselines count supporting sequences without binding
-                // occurrence tuples, so no artifact measure is available
-                // (they also always mine the clipped view).
+                // Baselines count supporting sequences without keeping
+                // bound occurrence tuples, so the per-pattern artifact
+                // measure is not available (the policy itself is applied:
+                // relations, ordering and t_max all use the effective
+                // intervals).
                 clipped_occurrences: 0,
             })
         })
@@ -153,16 +193,24 @@ pub(crate) fn assemble(
 
 /// The ordered relation column appended when a chronologically last
 /// instance joins an existing binding; `None` if any pair has no relation.
+/// All intervals go through the boundary policy; the caller guarantees
+/// `x` and every bound instance pass it.
 pub(crate) fn relation_column(
     insts: &[ftpm_events::EventInstance],
     binding: &[u32],
     x: usize,
     cfg: &MinerConfig,
 ) -> Option<Vec<TemporalRelation>> {
-    let xi = &insts[x];
+    let rel = &cfg.relation;
+    let x_iv = rel
+        .effective_interval(&insts[x])
+        .expect("candidate instances pass the boundary policy");
     let mut rels = Vec::with_capacity(binding.len());
     for &b in binding {
-        rels.push(cfg.relation.relate(&insts[b as usize].interval, &xi.interval)?);
+        let b_iv = rel
+            .effective_interval(&insts[b as usize])
+            .expect("bound instances pass the boundary policy");
+        rels.push(rel.relate(&b_iv, &x_iv)?);
     }
     Some(rels)
 }

@@ -43,7 +43,7 @@ struct Arrangement {
 /// to [`ftpm_core::mine_exact`].
 pub fn mine_hdfs(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let sigma_abs = cfg.absolute_support(db.len());
-    let supports = event_supports(db);
+    let supports = event_supports(db, cfg);
 
     // Vertical transformation: build an ID-list per frequent event.
     let mut id_lists: Vec<IdList> = Vec::new();
@@ -57,7 +57,17 @@ pub fn mine_hdfs(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
         for e in events {
             let mut per_seq = Vec::new();
             for (si, seq) in db.sequences().iter().enumerate() {
-                let insts: Vec<u32> = seq.instances_of(e).map(|i| i as u32).collect();
+                // The boundary policy filters the vertical view up front:
+                // instances it discards never enter an ID-list.
+                let insts: Vec<u32> = seq
+                    .instances_of(e)
+                    .filter(|&i| {
+                        cfg.relation
+                            .effective_interval(&seq.instances()[i])
+                            .is_some()
+                    })
+                    .map(|i| i as u32)
+                    .collect();
                 if !insts.is_empty() {
                     per_seq.push((si as u32, insts));
                 }
@@ -121,17 +131,21 @@ fn merge_pair(
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 let insts = db.sequences()[*sa as usize].instances();
+                let rel = &cfg.relation;
                 for &x in ia {
                     for &y in ib {
                         let (fx, fy) = (&insts[x as usize], &insts[y as usize]);
-                        if fx.chrono_key() >= fy.chrono_key() {
+                        // ID-list members passed the boundary policy.
+                        let fx_iv = rel.effective_interval(fx).expect("in id-list");
+                        let fy_iv = rel.effective_interval(fy).expect("in id-list");
+                        if rel.effective_key(fx) >= rel.effective_key(fy) {
                             continue; // the opposite order is the pair (b, a)
                         }
-                        let max_end = fx.interval.end.max(fy.interval.end);
-                        if !cfg.relation.within_t_max(fx.interval.start, max_end) {
+                        let max_end = fx_iv.end.max(fy_iv.end);
+                        if !rel.within_t_max(fx_iv.start, max_end) {
                             continue;
                         }
-                        if let Some(r) = cfg.relation.relate(&fx.interval, &fy.interval) {
+                        if let Some(r) = rel.relate(&fx_iv, &fy_iv) {
                             let entry = per_rel.entry(r).or_default();
                             entry.0.insert(*sa);
                             entry.1.push((*sa, vec![x, y]));
@@ -173,22 +187,26 @@ fn merge_extend(
             continue;
         };
         let insts = db.sequences()[*si as usize].instances();
-        let last_key = insts[*binding.last().expect("non-empty") as usize].chrono_key();
-        let first_start = insts[binding[0] as usize].interval.start;
+        let rel = &cfg.relation;
+        // Bound and candidate instances all passed the boundary policy.
+        let bound_iv = |b: u32| {
+            rel.effective_interval(&insts[b as usize])
+                .expect("bound instances pass the boundary policy")
+        };
+        let last_key = rel.effective_key(&insts[*binding.last().expect("non-empty") as usize]);
+        let first_start = bound_iv(binding[0]).start;
         let max_end = binding
             .iter()
-            .map(|&b| insts[b as usize].interval.end)
+            .map(|&b| bound_iv(b).end)
             .max()
             .expect("non-empty");
         for &xi in *candidates {
             let x = &insts[xi as usize];
-            if x.chrono_key() <= last_key {
+            let x_iv = rel.effective_interval(x).expect("in id-list");
+            if rel.effective_key(x) <= last_key {
                 continue;
             }
-            if !cfg
-                .relation
-                .within_t_max(first_start, max_end.max(x.interval.end))
-            {
+            if !rel.within_t_max(first_start, max_end.max(x_iv.end)) {
                 continue;
             }
             let Some(rels) = relation_column(insts, binding, xi as usize, cfg) else {

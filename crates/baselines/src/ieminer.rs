@@ -22,7 +22,7 @@ use crate::common::{assemble, event_supports, sequence_supports};
 /// to [`ftpm_core::mine_exact`].
 pub fn mine_ieminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let sigma_abs = cfg.absolute_support(db.len());
-    let supports = event_supports(db);
+    let supports = event_supports(db, cfg);
     let mut frequent_events: Vec<EventId> = supports
         .iter()
         .filter(|(_, &s)| s >= sigma_abs)

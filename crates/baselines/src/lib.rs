@@ -19,6 +19,11 @@
 //! The paper's observed runtime ordering
 //! `A-HTPGM < E-HTPGM < TPMiner < IEMiner < H-DFS` emerges from these
 //! structural differences, not from artificial slowdowns.
+//!
+//! All three honor [`ftpm_events::BoundaryPolicy`] (they historically
+//! mined the clipped view regardless), so boundary-aware comparisons
+//! against the HPG miners are meaningful under every policy — asserted
+//! by the equivalence tests against [`ftpm_core::mine_reference`].
 
 mod common;
 mod hdfs;

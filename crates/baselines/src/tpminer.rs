@@ -29,13 +29,18 @@ struct EndpointIndex {
 }
 
 impl EndpointIndex {
-    fn build(db: &SequenceDatabase) -> Self {
+    fn build(db: &SequenceDatabase, cfg: &MinerConfig) -> Self {
         let per_seq = db
             .sequences()
             .iter()
             .map(|seq| {
                 let mut m: HashMap<EventId, Vec<u32>> = HashMap::new();
                 for (i, inst) in seq.instances().iter().enumerate() {
+                    // Instances the boundary policy discards never enter
+                    // the endpoint view.
+                    if cfg.relation.effective_interval(inst).is_none() {
+                        continue;
+                    }
                     m.entry(inst.event).or_default().push(i as u32);
                 }
                 m
@@ -56,7 +61,7 @@ impl EndpointIndex {
 /// growth. Output is identical to [`ftpm_core::mine_exact`].
 pub fn mine_tpminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let sigma_abs = cfg.absolute_support(db.len());
-    let supports = event_supports(db);
+    let supports = event_supports(db, cfg);
 
     // Per-sequence, per-event instance lists (the vertical endpoint view).
     let frequent: Vec<EventId> = {
@@ -69,7 +74,7 @@ pub fn mine_tpminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
         v
     };
 
-    let endpoints = EndpointIndex::build(db);
+    let endpoints = EndpointIndex::build(db, cfg);
     let mut counted: Vec<(Pattern, usize)> = Vec::new();
     for &e in &frequent {
         // Project the database onto the 1-event prefix <e>.
@@ -117,23 +122,28 @@ fn grow(
             HashMap::new();
         for (si, binding) in projection {
             let insts = db.sequences()[*si as usize].instances();
-            let last_key = insts[*binding.last().expect("non-empty") as usize].chrono_key();
-            let first_start = insts[binding[0] as usize].interval.start;
+            let rel = &cfg.relation;
+            // Projected and candidate instances passed the boundary
+            // policy when they entered the endpoint view.
+            let bound_iv = |b: u32| {
+                rel.effective_interval(&insts[b as usize])
+                    .expect("bound instances pass the boundary policy")
+            };
+            let last_key = rel.effective_key(&insts[*binding.last().expect("non-empty") as usize]);
+            let first_start = bound_iv(binding[0]).start;
             let max_end = binding
                 .iter()
-                .map(|&b| insts[b as usize].interval.end)
+                .map(|&b| bound_iv(b).end)
                 .max()
                 .expect("non-empty");
             for &xi in endpoints.instances_of(*si, ek) {
                 let xi = xi as usize;
                 let x = &insts[xi];
-                if x.chrono_key() <= last_key {
+                let x_iv = rel.effective_interval(x).expect("in endpoint view");
+                if rel.effective_key(x) <= last_key {
                     continue;
                 }
-                if !cfg
-                    .relation
-                    .within_t_max(first_start, max_end.max(x.interval.end))
-                {
+                if !rel.within_t_max(first_start, max_end.max(x_iv.end)) {
                     continue;
                 }
                 let Some(rels) = relation_column(insts, binding, xi, cfg) else {

@@ -87,3 +87,52 @@ fn empty_database_yields_no_patterns() {
     assert!(mine_hdfs(&db, &cfg).is_empty());
     assert!(mine_ieminer(&db, &cfg).is_empty());
 }
+
+/// The baselines must honor the boundary policy — historically they
+/// silently mined the clipped view whatever `RelationConfig.boundary`
+/// said. Cross-validate every policy on a database whose runs really
+/// cross window boundaries, against the brute-force reference oracle.
+#[test]
+fn baselines_honor_boundary_policies() {
+    use ftpm_core::mine_reference;
+    use ftpm_events::{BoundaryPolicy, RelationConfig};
+
+    // An overlapped split of a small energy demo: plenty of clipped
+    // instances, and TrueExtent genuinely differs from Clip.
+    let data = ftpm_datagen::dataport_like(0.01).project_variables(4);
+    let clipped_total: usize = data
+        .seq
+        .sequences()
+        .iter()
+        .flat_map(|s| s.instances())
+        .filter(|i| i.is_clipped())
+        .count();
+    assert!(clipped_total > 0, "need boundary-clipped instances");
+
+    let mut distinct_sets = 0usize;
+    let mut previous: Option<usize> = None;
+    for policy in [
+        BoundaryPolicy::Clip,
+        BoundaryPolicy::TrueExtent,
+        BoundaryPolicy::Discard,
+    ] {
+        let cfg = MinerConfig::new(0.4, 0.4)
+            .with_max_events(3)
+            .with_relation(RelationConfig::new(0, 1, 360).with_boundary(policy));
+        let reference = mine_reference(&data.seq, &cfg);
+        let who = |name: &str| format!("{name}[{policy}]");
+        assert_equivalent(&reference, &mine_tpminer(&data.seq, &cfg), &who("tpminer"));
+        assert_equivalent(&reference, &mine_hdfs(&data.seq, &cfg), &who("hdfs"));
+        assert_equivalent(&reference, &mine_ieminer(&data.seq, &cfg), &who("ieminer"));
+        // The exact miner agrees too, closing the loop.
+        assert_equivalent(&reference, &mine_exact(&data.seq, &cfg), &who("exact"));
+        if previous != Some(reference.len()) {
+            distinct_sets += 1;
+        }
+        previous = Some(reference.len());
+    }
+    assert!(
+        distinct_sets >= 2,
+        "policies should actually change the mined set on clipped data"
+    );
+}

@@ -554,6 +554,131 @@ pub fn boundary_equivalence(opts: &Opts) -> bool {
     true_extent_equal
 }
 
+/// Shard-merge equivalence (beyond the paper; ROADMAP "Sharding/scale"):
+/// mines the energy demo once unsharded and once cut into K ∈ {1, 2, 4}
+/// time-range shards with `t_ov = t_max` under `TrueExtent`, each shard
+/// converting and mining its own slice, merged through the deduplicating
+/// [`ftpm_core::ShardMerge`]. The merged output must equal the unsharded
+/// baseline *exactly* — same pattern labels, supports, confidences and
+/// clipped-occurrence counts. Writes
+/// `results/shard_equivalence.{csv,json}` and returns whether the K = 4
+/// run matched (the CI gate).
+pub fn shard_equivalence(opts: &Opts) -> bool {
+    use std::collections::HashMap;
+
+    use ftpm_core::mine_sharded;
+    use ftpm_events::{BoundaryPolicy, EventRegistry, RelationConfig};
+
+    // A handful of appliances keeps support-complete per-shard mining
+    // (absolute support 1 — the price of an exact merge) fast.
+    let data = nist_like(opts.scale).project_variables(8);
+    let t_max = 3 * 60;
+    let cfg = MinerConfig::new(0.25, 0.25)
+        .with_max_events(opts.max_events)
+        .with_relation(
+            RelationConfig::new(0, 1, t_max).with_boundary(BoundaryPolicy::TrueExtent),
+        );
+    println!(
+        "Shard equivalence: {} ({} windows, {}, t_max {t_max}, scale {})\n",
+        data.name,
+        data.seq.len(),
+        data.split,
+        opts.scale
+    );
+
+    // Shard slices intern events in their own orders: compare by label.
+    let labelled = |result: &ftpm_core::MiningResult, registry: &EventRegistry| {
+        result
+            .patterns
+            .iter()
+            .map(|p| {
+                (
+                    p.pattern.display(registry).to_string(),
+                    (p.support, p.confidence, p.clipped_occurrences),
+                )
+            })
+            .collect::<HashMap<String, (usize, f64, usize)>>()
+    };
+    let (base, base_secs) = time(|| mine_exact(&data.seq, &cfg));
+    let base_map = labelled(&base, data.seq.registry());
+
+    let mut report = Report::new(
+        "shard_equivalence",
+        &[
+            "shards", "baseline", "merged", "missing", "extra", "stat_mismatches",
+            "seconds", "equal",
+        ],
+    );
+    report.row(vec![
+        "unsharded".into(),
+        base.len().to_string(),
+        base.len().to_string(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        secs(base_secs),
+        "true".into(),
+    ]);
+    let mut json_rows = Vec::new();
+    let mut k4_equal = false;
+    for k in [1usize, 2, 4] {
+        let (sharded, elapsed) = time(|| {
+            mine_sharded(&data.syb, data.split, &cfg, k, 1).expect("valid shard geometry")
+        });
+        let merged_map = labelled(&sharded.result, &sharded.registry);
+        let missing = base_map.keys().filter(|l| !merged_map.contains_key(*l)).count();
+        let extra = merged_map.keys().filter(|l| !base_map.contains_key(*l)).count();
+        let stat_mismatches = base_map
+            .iter()
+            .filter(|(label, (supp, conf, clipped))| {
+                merged_map.get(*label).is_some_and(|(s, c, cl)| {
+                    s != supp || (c - conf).abs() >= 1e-9 || cl != clipped
+                })
+            })
+            .count();
+        let equal = missing == 0 && extra == 0 && stat_mismatches == 0;
+        if k == 4 {
+            k4_equal = equal;
+        }
+        report.row(vec![
+            k.to_string(),
+            base.len().to_string(),
+            sharded.result.len().to_string(),
+            missing.to_string(),
+            extra.to_string(),
+            stat_mismatches.to_string(),
+            secs(elapsed),
+            equal.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"shards\": {k}, \"baseline_patterns\": {}, \"merged_patterns\": {}, \
+             \"missing\": {missing}, \"extra\": {extra}, \
+             \"stat_mismatches\": {stat_mismatches}, \"equal\": {equal}}}",
+            base.len(),
+            sharded.result.len(),
+        ));
+    }
+    report.finish();
+
+    // Machine-readable summary for the CI shard-equivalence gate.
+    let json = format!(
+        "{{\n  \"experiment\": \"shard_equivalence\",\n  \"dataset\": \"{}\",\n  \
+         \"windows\": {},\n  \"t_ov\": {t_max},\n  \"t_max\": {t_max},\n  \
+         \"boundary\": \"true-extent\",\n  \"scale\": {},\n  \
+         \"sharded_equal\": {k4_equal},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        data.name,
+        data.seq.len(),
+        opts.scale,
+        json_rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/shard_equivalence.json", json) {
+        Ok(()) => println!("wrote results/shard_equivalence.json"),
+        Err(e) => eprintln!("could not write results/shard_equivalence.json: {e}"),
+    }
+    k4_equal
+}
+
 fn scalability(name: &str, data: &Dataset, opts: &Opts, by_sequences: bool) {
     let methods = [
         Method::AHtpgm(0.6),

@@ -78,7 +78,7 @@ fn mine_with_graph(
             }),
         };
         let mut sink = CollectSink::new();
-        let stats = mine_internal(seq_db, cfg, Some(&filter), &mut sink);
+        let stats = mine_internal(seq_db, cfg, Some(&filter), None, &mut sink);
         sink.into_result(stats)
     };
     ApproxOutcome {
@@ -176,7 +176,7 @@ pub fn mine_approximate_event_level(
             }),
         };
         let mut sink = CollectSink::new();
-        let stats = mine_internal(seq_db, cfg, Some(&filter), &mut sink);
+        let stats = mine_internal(seq_db, cfg, Some(&filter), None, &mut sink);
         sink.into_result(stats)
     };
     ApproxOutcome {

@@ -63,7 +63,7 @@ pub(crate) struct CorrelationFilter<'a> {
 /// See the crate-level example.
 pub fn mine_exact(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let mut sink = CollectSink::new();
-    let stats = mine_internal(db, cfg, None, &mut sink);
+    let stats = mine_internal(db, cfg, None, None, &mut sink);
     sink.into_result(stats)
 }
 
@@ -83,7 +83,7 @@ pub fn mine_exact_with_sink(
     cfg: &MinerConfig,
     sink: &mut dyn PatternSink,
 ) -> MiningStats {
-    mine_internal(db, cfg, None, sink)
+    mine_internal(db, cfg, None, None, sink)
 }
 
 /// Occurrence accumulator: supporting-sequence bitmap + bound tuples.
@@ -128,10 +128,17 @@ fn decode_column(mut code: u64, len: usize) -> Vec<TemporalRelation> {
     rels
 }
 
+/// `owned` is the shard-mining seam: when present, emitted patterns count
+/// support (and clipped occurrences) only over the sequences whose mask
+/// entry is `true` — the windows this shard *owns* — so a downstream
+/// [`crate::ShardMerge`] can sum per-shard stats without double-counting
+/// the windows duplicated into neighbouring shards' overlap pads.
+/// Threshold gating during mining still sees every sequence of `db`.
 pub(crate) fn mine_internal(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     corr: Option<&CorrelationFilter<'_>>,
+    owned: Option<&[bool]>,
     sink: &mut dyn PatternSink,
 ) -> MiningStats {
     let n_seqs = db.len();
@@ -204,6 +211,7 @@ pub(crate) fn mine_internal(
         stats: &mut stats,
         sink,
         db_has_clipped,
+        owned,
     };
     for node in level_nodes {
         grow.grow_node(node, 3);
@@ -354,6 +362,9 @@ pub(crate) struct GrowContext<'a> {
     /// lets [`archive_node`] skip the per-occurrence artifact scan when
     /// every count would be 0.
     pub(crate) db_has_clipped: bool,
+    /// Shard ownership mask (see [`mine_internal`]); `None` outside
+    /// sharded runs.
+    pub(crate) owned: Option<&'a [bool]>,
 }
 
 impl GrowContext<'_> {
@@ -362,7 +373,7 @@ impl GrowContext<'_> {
     /// bindings die when this frame returns.
     pub(crate) fn grow_node(&mut self, node: WorkNode, k: usize) {
         if k > self.max_events {
-            archive_node(self.sink, self.db, self.db_has_clipped, node, k - 1);
+            archive_node(self.sink, self.db, self.db_has_clipped, self.owned, node, k - 1);
             return;
         }
         while self.stats.nodes_verified.len() < k - 1 {
@@ -416,7 +427,7 @@ impl GrowContext<'_> {
         }
         // The parent's occurrences are no longer needed once all its
         // children have been generated.
-        archive_node(self.sink, self.db, self.db_has_clipped, node, k - 1);
+        archive_node(self.sink, self.db, self.db_has_clipped, self.owned, node, k - 1);
         for child in children {
             self.grow_node(child, k + 1);
         }
@@ -430,10 +441,18 @@ impl GrowContext<'_> {
 /// through the sinks. `db_has_clipped` (false for unsplit or
 /// cleanly-tiled databases) skips that occurrence scan on the hot
 /// archive path when the answer can only be 0.
+///
+/// With a shard ownership mask (`owned`), supports and clipped counts are
+/// restricted to owned sequences — the raw material a [`crate::ShardMerge`]
+/// sums across shards — and patterns left with zero owned support are not
+/// emitted at all (their owner shard emits them instead). Confidence and
+/// `rel_support` are placeholders in that mode: only the merge, which
+/// sees the global event supports and sequence count, can compute them.
 pub(crate) fn archive_node(
     sink: &mut dyn PatternSink,
     db: &SequenceDatabase,
     db_has_clipped: bool,
+    owned: Option<&[bool]>,
     node: WorkNode,
     k: usize,
 ) {
@@ -441,27 +460,61 @@ pub(crate) fn archive_node(
     let patterns: Vec<FrequentPattern> = node
         .patterns
         .into_iter()
-        .map(|wp| {
-            let clipped_occurrences = if !db_has_clipped {
-                0
-            } else {
-                wp.occurrences
-                    .iter()
-                    .filter(|(seq_id, tuple)| {
-                        let insts = db.sequences()[*seq_id as usize].instances();
-                        tuple.iter().any(|&ti| insts[ti as usize].is_clipped())
-                    })
-                    .count()
+        .filter_map(|wp| {
+            let count_clipped = |(seq_id, tuple): &(u32, Vec<u32>)| {
+                let insts = db.sequences()[*seq_id as usize].instances();
+                tuple.iter().any(|&ti| insts[ti as usize].is_clipped())
             };
-            FrequentPattern {
+            let (support, rel_support, clipped_occurrences) = match owned {
+                None => {
+                    let clipped = if !db_has_clipped {
+                        0
+                    } else {
+                        wp.occurrences.iter().filter(|occ| count_clipped(occ)).count()
+                    };
+                    (
+                        wp.support,
+                        wp.support as f64 / n_seqs.max(1) as f64,
+                        clipped,
+                    )
+                }
+                Some(mask) => {
+                    // Occurrences arrive grouped by ascending sequence id,
+                    // so distinct owned sequences can be counted in one
+                    // pass without a set.
+                    let mut support = 0usize;
+                    let mut clipped = 0usize;
+                    let mut last_seq: Option<u32> = None;
+                    for occ in &wp.occurrences {
+                        if !mask[occ.0 as usize] {
+                            continue;
+                        }
+                        if last_seq != Some(occ.0) {
+                            support += 1;
+                            last_seq = Some(occ.0);
+                        }
+                        if db_has_clipped && count_clipped(occ) {
+                            clipped += 1;
+                        }
+                    }
+                    if support == 0 {
+                        return None;
+                    }
+                    (support, 0.0, clipped)
+                }
+            };
+            Some(FrequentPattern {
                 pattern: wp.pattern,
-                support: wp.support,
-                rel_support: wp.support as f64 / n_seqs.max(1) as f64,
+                support,
+                rel_support,
                 confidence: wp.confidence,
                 clipped_occurrences,
-            }
+            })
         })
         .collect();
+    if owned.is_some() && patterns.is_empty() {
+        return;
+    }
     sink.node(node.events, node.support, k, patterns);
 }
 

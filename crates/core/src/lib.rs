@@ -17,7 +17,12 @@
 //! * [`PatternSink`] and friends ([`CollectSink`], [`CountingSink`],
 //!   [`CsvSink`], [`JsonlSink`]) — streaming output: [`mine_exact_with_sink`]
 //!   and [`mine_exact_parallel_with_sink`] emit each finished pattern-graph
-//!   node into a sink instead of materializing a result `Vec`.
+//!   node into a sink instead of materializing a result `Vec`;
+//! * [`ShardPlanner`] / [`mine_sharded`] / [`ShardMerge`] —
+//!   shard-by-time-range mining: K overlapping time-range slices mined
+//!   independently and merged losslessly through a streaming,
+//!   occurrence-deduplicating sink (`t_ov = t_max`, the Fig 3 lemma one
+//!   level up).
 //!
 //! # Quickstart
 //!
@@ -45,11 +50,13 @@ mod config;
 mod exact;
 mod hpg;
 mod index;
+mod merge;
 mod parallel;
 mod pattern;
 mod postprocess;
 mod reference;
 mod result;
+mod shard;
 mod sink;
 
 pub use approx::{
@@ -64,7 +71,9 @@ pub use postprocess::{
 };
 pub use hpg::{HierarchicalPatternGraph, Level, Node};
 pub use index::DatabaseIndex;
+pub use merge::{MergeSink, ShardMerge};
 pub use pattern::Pattern;
 pub use reference::mine_reference;
 pub use result::{FrequentPattern, MiningResult, MiningStats};
+pub use shard::{mine_sharded, Shard, ShardPlan, ShardPlanner, ShardedMining};
 pub use sink::{CollectSink, CountingSink, CsvSink, JsonlSink, PatternSink};

@@ -1,0 +1,352 @@
+//! Lossless merging of per-shard mining output — the seam between the
+//! sharded miners and one downstream [`PatternSink`].
+//!
+//! A shard-by-time-range run (see [`crate::shard`]) mines K overlapping
+//! slices of the data independently. Two things make the naive "union the
+//! per-shard results" merge wrong:
+//!
+//! 1. **Double counting.** The slices overlap by `t_ov`, so windows
+//!    inside an overlap region are mined by *both* adjacent shards; just
+//!    summing per-shard supports counts every such window twice and
+//!    inflates support. The miners therefore emit supports restricted to
+//!    the windows a shard *owns* (ownership partitions the window space —
+//!    see `owned` on [`crate::exact::mine_internal`]), and this module
+//!    sums those owned supports: each window contributes exactly once.
+//! 2. **Registry drift.** Each shard interns events from its own slice in
+//!    its own order, so `EventId`s are not comparable across shards (the
+//!    PR 3 lesson: compare across splits by label, never by id). Each
+//!    incoming pattern is translated through a per-shard id map into one
+//!    master registry before it is keyed. (The local [`crate::ShardPlanner`]
+//!    goes further and remaps shard databases onto the master registry
+//!    *before mining* — tie-breaks on identical intervals involve the id —
+//!    so its maps are identities; the translation seam here is what a
+//!    remote shard with a foreign registry would use.)
+//!
+//! The merge is *streaming* in the sink sense: per-shard miners emit
+//! straight into a [`MergeSink`] (no per-shard result `Vec` ever exists),
+//! the accumulator keeps one compact counter pair per distinct pattern,
+//! and [`ShardMerge::finish_into`] applies the global σ/δ thresholds and
+//! forwards the survivors into the downstream sink in one deterministic
+//! (pattern-sorted) pass. This is the seam a future network sink plugs
+//! into: remote shards would stream the same `(pattern, owned support,
+//! owned clipped count)` triples.
+
+use std::collections::HashMap;
+
+use ftpm_events::{EventId, EventRegistry};
+
+use crate::candidates::CONF_EPS;
+use crate::config::MinerConfig;
+use crate::pattern::Pattern;
+use crate::result::{FrequentPattern, MiningStats};
+use crate::sink::PatternSink;
+
+/// Sums per-worker / per-shard run counters into `into` — the single
+/// stats-merge path shared by the parallel miner's worker shards and the
+/// time-range shard merge.
+pub(crate) fn merge_stats(into: &mut MiningStats, from: MiningStats) {
+    for (i, v) in from.nodes_verified.into_iter().enumerate() {
+        if into.nodes_verified.len() <= i {
+            into.nodes_verified.push(0);
+            into.nodes_kept.push(0);
+            into.patterns_found.push(0);
+        }
+        into.nodes_verified[i] += v;
+    }
+    for (i, v) in from.nodes_kept.into_iter().enumerate() {
+        if into.nodes_kept.len() <= i {
+            into.nodes_kept.push(0);
+        }
+        into.nodes_kept[i] += v;
+    }
+    for (i, v) in from.patterns_found.into_iter().enumerate() {
+        if into.patterns_found.len() <= i {
+            into.patterns_found.push(0);
+        }
+        into.patterns_found[i] += v;
+    }
+    into.instance_checks += from.instance_checks;
+    into.apriori_pruned += from.apriori_pruned;
+    into.transitivity_pruned += from.transitivity_pruned;
+    // Boundary counts describe the database, not per-shard work: they
+    // are recorded once up front, and shard stats carry zeros.
+    into.clipped_instances += from.clipped_instances;
+    into.discarded_instances += from.discarded_instances;
+}
+
+/// Accumulated measures of one pattern across shards: owned supports and
+/// owned clipped-occurrence counts simply add, because window ownership
+/// partitions the global window space.
+#[derive(Debug, Default, Clone, Copy)]
+struct MergeEntry {
+    support: usize,
+    clipped_occurrences: usize,
+}
+
+/// Streaming union of per-shard pattern statistics.
+///
+/// Feed it one shard at a time through [`ShardMerge::sink`] (the
+/// per-shard miners write into that adapter), record each shard's owned
+/// single-event supports and run counters, then call
+/// [`ShardMerge::finish_into`] to apply the global thresholds and emit
+/// the merged output into a downstream sink.
+#[derive(Debug)]
+pub struct ShardMerge {
+    registry: EventRegistry,
+    /// Total owned windows across all shards — the global `|D_SEQ|`.
+    n_sequences: usize,
+    /// Owned single-event supports, indexed by master [`EventId`] — the
+    /// confidence denominators of the merged output.
+    event_supports: Vec<usize>,
+    patterns: HashMap<Pattern, MergeEntry>,
+    stats: MiningStats,
+}
+
+impl ShardMerge {
+    /// An empty merge over a master registry covering `n_sequences` owned
+    /// windows in total.
+    pub fn new(registry: EventRegistry, n_sequences: usize) -> Self {
+        let event_supports = vec![0; registry.len()];
+        ShardMerge {
+            registry,
+            n_sequences,
+            event_supports,
+            patterns: HashMap::new(),
+            stats: MiningStats::default(),
+        }
+    }
+
+    /// The master registry merged patterns are expressed in.
+    pub fn registry(&self) -> &EventRegistry {
+        &self.registry
+    }
+
+    /// Number of distinct patterns accumulated so far (before the global
+    /// σ/δ filter).
+    pub fn distinct_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// A [`PatternSink`] adapter for one shard: translates incoming event
+    /// ids through `map` (shard id → master id) and accumulates owned
+    /// supports. The adapter borrows the merge; drop it before starting
+    /// the next shard.
+    pub fn sink<'a>(&'a mut self, map: &'a [EventId]) -> MergeSink<'a> {
+        MergeSink { merge: self, map }
+    }
+
+    /// Adds one shard's owned support of a single event (confidence
+    /// denominator material).
+    pub fn add_event_support(&mut self, event: EventId, support: usize) {
+        self.event_supports[event.0 as usize] += support;
+    }
+
+    /// Sums one shard's run counters into the merged work statistics.
+    pub fn add_stats(&mut self, stats: MiningStats) {
+        merge_stats(&mut self.stats, stats);
+    }
+
+    /// Overrides the boundary observability counters: per-shard counts
+    /// include the duplicated overlap windows, so the shard runner
+    /// recounts them over owned windows only.
+    pub fn set_boundary_counts(&mut self, clipped: u64, discarded: u64) {
+        self.stats.clipped_instances = clipped;
+        self.stats.discarded_instances = discarded;
+    }
+
+    /// Applies the *global* thresholds of `cfg` to the merged statistics
+    /// and emits the surviving patterns into `sink`, sorted by pattern
+    /// (events, then relations) so the merged output is deterministic
+    /// regardless of shard emission interleaving. Returns the merged run
+    /// statistics: work counters are summed across shards, while the
+    /// per-level `patterns_found`/`nodes_kept` describe the merged final
+    /// output.
+    pub fn finish_into(self, cfg: &MinerConfig, sink: &mut dyn PatternSink) -> MiningStats {
+        let ShardMerge {
+            registry,
+            n_sequences,
+            event_supports,
+            patterns,
+            mut stats,
+        } = self;
+        let sigma_abs = cfg.absolute_support(n_sequences);
+
+        let l1: Vec<(EventId, usize)> = registry
+            .ids()
+            .filter(|e| event_supports[e.0 as usize] >= sigma_abs)
+            .map(|e| (e, event_supports[e.0 as usize]))
+            .collect();
+        sink.begin(&l1);
+
+        let mut rows: Vec<(Pattern, MergeEntry, f64)> = patterns
+            .into_iter()
+            .filter_map(|(pattern, entry)| {
+                if entry.support < sigma_abs {
+                    return None;
+                }
+                let max_supp = pattern
+                    .events()
+                    .iter()
+                    .map(|e| event_supports[e.0 as usize])
+                    .max()
+                    .expect("patterns have events");
+                if max_supp == 0 {
+                    return None;
+                }
+                let confidence = entry.support as f64 / max_supp as f64;
+                if confidence + CONF_EPS < cfg.delta {
+                    return None;
+                }
+                Some((pattern, entry, confidence))
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+
+        stats.nodes_kept = Vec::new();
+        stats.patterns_found = Vec::new();
+        for (pattern, entry, confidence) in rows {
+            let k = pattern.len();
+            while stats.patterns_found.len() < k - 1 {
+                stats.patterns_found.push(0);
+                stats.nodes_kept.push(0);
+            }
+            stats.patterns_found[k - 2] += 1;
+            stats.nodes_kept[k - 2] += 1;
+            let events = pattern.events().to_vec();
+            let fp = FrequentPattern {
+                pattern,
+                support: entry.support,
+                rel_support: entry.support as f64 / n_sequences.max(1) as f64,
+                confidence,
+                clipped_occurrences: entry.clipped_occurrences,
+            };
+            sink.node(events, entry.support, k, vec![fp]);
+        }
+        stats
+    }
+}
+
+/// The per-shard side of the merge boundary: a [`PatternSink`] handed to
+/// a shard's miner. Every emitted node is translated into the master
+/// registry and folded into the shared accumulator; nothing is buffered
+/// per shard.
+#[derive(Debug)]
+pub struct MergeSink<'a> {
+    merge: &'a mut ShardMerge,
+    /// `map[shard_event_id] == master_event_id`.
+    map: &'a [EventId],
+}
+
+impl PatternSink for MergeSink<'_> {
+    fn begin(&mut self, _frequent_events: &[(EventId, usize)]) {
+        // Single-event supports counted by the miner cover the whole
+        // shard slice (duplicated windows included); the shard runner
+        // records owned-only supports via `add_event_support` instead.
+    }
+
+    fn node(
+        &mut self,
+        _events: Vec<EventId>,
+        _support: usize,
+        _k: usize,
+        patterns: Vec<FrequentPattern>,
+    ) {
+        for fp in patterns {
+            let translated = Pattern::new(
+                fp.pattern
+                    .events()
+                    .iter()
+                    .map(|e| self.map[e.0 as usize])
+                    .collect(),
+                fp.pattern.relations().to_vec(),
+            );
+            let entry = self.merge.patterns.entry(translated).or_default();
+            entry.support += fp.support;
+            entry.clipped_occurrences += fp.clipped_occurrences;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpm_events::TemporalRelation;
+    use ftpm_timeseries::{SymbolId, VariableId};
+
+    use crate::sink::CollectSink;
+
+    fn registry(labels: &[&str]) -> EventRegistry {
+        let mut reg = EventRegistry::new();
+        for (i, l) in labels.iter().enumerate() {
+            reg.intern(VariableId(i as u32), SymbolId(1), || (*l).to_owned());
+        }
+        reg
+    }
+
+    fn fp(e1: u32, e2: u32, support: usize, clipped: usize) -> FrequentPattern {
+        FrequentPattern {
+            pattern: Pattern::pair(EventId(e1), TemporalRelation::Follow, EventId(e2)),
+            support,
+            rel_support: 0.0,
+            confidence: 0.0,
+            clipped_occurrences: clipped,
+        }
+    }
+
+    #[test]
+    fn merge_translates_ids_sums_owned_supports_and_filters() {
+        // Master: A=0, B=1. Shard 1 interned them reversed.
+        let master = registry(&["A", "B"]);
+        let mut merge = ShardMerge::new(master, 8);
+        {
+            let map = [EventId(0), EventId(1)];
+            let mut sink = merge.sink(&map);
+            sink.node(vec![], 0, 2, vec![fp(0, 1, 3, 1)]);
+        }
+        {
+            // Shard 1: local 0 = "B", local 1 = "A".
+            let map = [EventId(1), EventId(0)];
+            let mut sink = merge.sink(&map);
+            // Locally (B=0 local) Follow (A=1 local)... translated this is
+            // A Follow B? No: local pair (1, Follow, 0) -> (A, Follow, B).
+            sink.node(vec![], 0, 2, vec![fp(1, 0, 2, 0)]);
+            // A pattern below the global sigma: dropped by finish.
+            sink.node(vec![], 0, 2, vec![fp(0, 1, 1, 0)]);
+        }
+        merge.add_event_support(EventId(0), 5);
+        merge.add_event_support(EventId(0), 3);
+        merge.add_event_support(EventId(1), 6);
+        assert_eq!(merge.distinct_patterns(), 2);
+
+        let cfg = MinerConfig::new(0.5, 0.5); // sigma_abs = 4 of 8
+        let mut out = CollectSink::new();
+        let stats = merge.finish_into(&cfg, &mut out);
+        let result = out.into_result(stats);
+        assert_eq!(result.len(), 1, "only the summed A->B survives");
+        let p = &result.patterns[0];
+        assert_eq!(p.support, 5, "3 + 2 owned windows");
+        assert_eq!(p.clipped_occurrences, 1);
+        assert!((p.confidence - 5.0 / 8.0).abs() < 1e-12);
+        assert!((p.rel_support - 5.0 / 8.0).abs() < 1e-12);
+        assert_eq!(result.frequent_events, vec![(EventId(0), 8), (EventId(1), 6)]);
+        assert_eq!(result.stats.patterns_found, vec![1]);
+    }
+
+    #[test]
+    fn finish_applies_confidence_with_tolerance() {
+        let master = registry(&["A", "B"]);
+        let mut merge = ShardMerge::new(master, 10);
+        {
+            let map = [EventId(0), EventId(1)];
+            let mut sink = merge.sink(&map);
+            sink.node(vec![], 0, 2, vec![fp(0, 1, 7, 0)]);
+        }
+        merge.add_event_support(EventId(0), 10);
+        merge.add_event_support(EventId(1), 7);
+        // conf = 7/10 must pass delta = 0.7 despite float noise.
+        let cfg = MinerConfig::new(0.1, 0.7);
+        let mut out = CollectSink::new();
+        let stats = merge.finish_into(&cfg, &mut out);
+        assert_eq!(out.into_result(stats).len(), 1);
+    }
+}

@@ -22,6 +22,7 @@ use crate::candidates::{L2Engine, PairRelations, WorkNode};
 use crate::config::MinerConfig;
 use crate::exact::{GrowContext, MAX_EVENTS_HARD_CAP};
 use crate::index::DatabaseIndex;
+use crate::merge::merge_stats;
 use crate::result::{MiningResult, MiningStats};
 use crate::sink::{CollectSink, PatternSink};
 
@@ -60,9 +61,23 @@ pub fn mine_exact_parallel_with_sink(
     n_threads: usize,
     sink: &mut (dyn PatternSink + Send),
 ) -> MiningStats {
+    mine_parallel_internal(db, cfg, n_threads, None, sink)
+}
+
+/// The owned-mask-aware engine behind [`mine_exact_parallel_with_sink`]:
+/// `owned` restricts emitted supports to a shard's owned sequences, as in
+/// [`crate::exact::mine_internal`]. Also the path the shard runner uses
+/// for per-shard parallel mining.
+pub(crate) fn mine_parallel_internal(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    n_threads: usize,
+    owned: Option<&[bool]>,
+    sink: &mut (dyn PatternSink + Send),
+) -> MiningStats {
     assert!(n_threads > 0, "need at least one thread");
     if n_threads == 1 {
-        return crate::exact::mine_internal(db, cfg, None, sink);
+        return crate::exact::mine_internal(db, cfg, None, owned, sink);
     }
     let sigma_abs = cfg.absolute_support(db.len());
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
@@ -187,6 +202,7 @@ pub fn mine_exact_parallel_with_sink(
                             stats: &mut shard_stats,
                             sink: &mut worker_sink,
                             db_has_clipped,
+                            owned,
                         };
                         grow.grow_node(node, 3);
                     }
@@ -262,32 +278,3 @@ impl PatternSink for SharedSink<'_, '_> {
     }
 }
 
-fn merge_stats(into: &mut MiningStats, from: MiningStats) {
-    for (i, v) in from.nodes_verified.into_iter().enumerate() {
-        if into.nodes_verified.len() <= i {
-            into.nodes_verified.push(0);
-            into.nodes_kept.push(0);
-            into.patterns_found.push(0);
-        }
-        into.nodes_verified[i] += v;
-    }
-    for (i, v) in from.nodes_kept.into_iter().enumerate() {
-        if into.nodes_kept.len() <= i {
-            into.nodes_kept.push(0);
-        }
-        into.nodes_kept[i] += v;
-    }
-    for (i, v) in from.patterns_found.into_iter().enumerate() {
-        if into.patterns_found.len() <= i {
-            into.patterns_found.push(0);
-        }
-        into.patterns_found[i] += v;
-    }
-    into.instance_checks += from.instance_checks;
-    into.apriori_pruned += from.apriori_pruned;
-    into.transitivity_pruned += from.transitivity_pruned;
-    // Boundary counts describe the database, not per-shard work: they
-    // are recorded once up front, and shard stats carry zeros.
-    into.clipped_instances += from.clipped_instances;
-    into.discarded_instances += from.discarded_instances;
-}

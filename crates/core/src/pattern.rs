@@ -14,7 +14,12 @@ use serde::{Deserialize, Serialize};
 /// so extending a `(k−1)`-event pattern with one more event appends
 /// exactly `k−1` relations at the end — the layout mirrors how HTPGM
 /// grows patterns level by level.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived `Ord` (events lexicographically, then relations) is a
+/// total order used wherever mined output must be deterministic despite
+/// nondeterministic parallel discovery order: the shard merge's emission
+/// order and the tie-breaks of [`crate::rank_patterns`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Pattern {
     events: Vec<EventId>,
     relations: Vec<TemporalRelation>,

@@ -146,8 +146,14 @@ impl std::str::FromStr for PatternSort {
 
 /// References to the patterns of `result`, optionally sorted by `sort`
 /// and truncated to the `top` best — makes 920k-pattern runs usable from
-/// a terminal. With `sort == None` discovery order is kept; remaining
-/// ties break by discovery order (the sort is stable).
+/// a terminal. With `sort == None` discovery order is kept.
+///
+/// The sort key is a *total* order: support/confidence ties break by the
+/// pattern itself (events, then relations — the pattern's label order
+/// for one registry). Discovery order under `--threads` is
+/// nondeterministic, so without the full tie-break the same `--top N`
+/// command could print different pattern sets run to run whenever the
+/// cut fell inside a tie group.
 pub fn rank_patterns(
     result: &MiningResult,
     sort: Option<PatternSort>,
@@ -159,11 +165,13 @@ pub fn rank_patterns(
             b.support
                 .cmp(&a.support)
                 .then(b.confidence.total_cmp(&a.confidence))
+                .then_with(|| a.pattern.cmp(&b.pattern))
         }),
         Some(PatternSort::Confidence) => refs.sort_by(|a, b| {
             b.confidence
                 .total_cmp(&a.confidence)
                 .then(b.support.cmp(&a.support))
+                .then_with(|| a.pattern.cmp(&b.pattern))
         }),
         None => {}
     }
@@ -173,8 +181,9 @@ pub fn rank_patterns(
     refs
 }
 
-/// The `k` most interesting patterns by lift (ties broken by support then
-/// confidence), longest-first among equals.
+/// The `k` most interesting patterns by lift (ties broken by support,
+/// confidence, then the pattern itself, so the selection is a total
+/// order and stable across nondeterministic discovery orders).
 pub fn top_k_by_lift(result: &MiningResult, k: usize) -> Vec<(&FrequentPattern, f64)> {
     let mut scored: Vec<(&FrequentPattern, f64)> = result
         .patterns
@@ -185,6 +194,7 @@ pub fn top_k_by_lift(result: &MiningResult, k: usize) -> Vec<(&FrequentPattern, 
         b.1.total_cmp(&a.1)
             .then(b.0.support.cmp(&a.0.support))
             .then(b.0.confidence.total_cmp(&a.0.confidence))
+            .then_with(|| a.0.pattern.cmp(&b.0.pattern))
     });
     scored.truncate(k);
     scored

@@ -1,0 +1,345 @@
+//! Shard-by-time-range mining: cut the symbolic database into K
+//! overlapping time-range shards, mine each shard independently, and
+//! merge the per-shard statistics losslessly (see [`crate::merge`]).
+//!
+//! # Geometry and the `t_ov = t_max` lemma
+//!
+//! A shard boundary is a window boundary: the window index space of the
+//! global split is partitioned into K contiguous *owned* ranges, and each
+//! shard converts (and mines) a step slice covering its owned windows
+//! plus a pad of at least `t_ov` ticks on both sides
+//! ([`SplitConfig::shard_spans`]). Windows inside a pad are mined by both
+//! adjacent shards — the *overlap region* — and are deduplicated at merge
+//! time by counting only the windows a shard owns.
+//!
+//! Each shard computes run extents *within its own slice*, exactly as an
+//! independent service node holding only its time range (± the pad)
+//! would. This is lossless for [`BoundaryPolicy::TrueExtent`] with
+//! `t_ov = t_max` by an extension of the PR 3 window lemma: a run extent
+//! truncated at a slice edge necessarily spans more than `t_ov ≥ t_max`
+//! ticks, so no occurrence involving a truncated extent can ever satisfy
+//! the duration constraint — in the shard *or* in the unsharded baseline
+//! (where the true extent is even longer). Every other extent, clip flag
+//! and clipped interval of an owned window is bit-identical to the global
+//! conversion's. `Clip` and `Discard` never look past the clipped
+//! interval / clip flags, so they shard losslessly as well.
+//!
+//! # Support-complete per-shard mining
+//!
+//! A pattern's global support is the sum of its owned supports across
+//! shards, so a shard cannot apply the global σ/δ locally — a pattern
+//! frequent overall may sit below threshold in every single shard. Each
+//! shard therefore mines *support-complete* (absolute support 1, no
+//! confidence gate) and the merge applies the global thresholds to the
+//! summed statistics. That trades per-shard pruning for exactness; the
+//! ROADMAP notes the candidate-exchange scheme that would restore
+//! pruning.
+
+use ftpm_events::{
+    to_sequence_database, BoundaryPolicy, EventId, EventInstance, EventRegistry,
+    SequenceDatabase, ShardSpan, SplitConfig, TemporalSequence,
+};
+use ftpm_timeseries::SymbolicDatabase;
+
+use crate::config::MinerConfig;
+use crate::merge::ShardMerge;
+use crate::result::{MiningResult, MiningStats};
+use crate::sink::{CollectSink, PatternSink};
+
+/// Plans shard-by-time-range mining runs.
+///
+/// # Examples
+///
+/// ```
+/// use ftpm_core::{MinerConfig, ShardPlanner};
+/// use ftpm_events::{BoundaryPolicy, RelationConfig, SplitConfig};
+/// use ftpm_datagen::nist_like;
+///
+/// let data = nist_like(0.01).project_variables(5);
+/// let cfg = MinerConfig::new(0.4, 0.4)
+///     .with_max_events(3)
+///     .with_relation(
+///         RelationConfig::new(0, 1, 180).with_boundary(BoundaryPolicy::TrueExtent),
+///     );
+/// let plan = ShardPlanner::new(4)
+///     .plan(&data.syb, data.split, cfg.relation.t_max)
+///     .expect("valid geometry");
+/// let result = plan.mine(&cfg, 1);
+/// assert!(!result.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPlanner {
+    shards: usize,
+}
+
+impl ShardPlanner {
+    /// A planner cutting the data into (at most) `shards` time-range
+    /// shards.
+    pub fn new(shards: usize) -> Self {
+        ShardPlanner { shards }
+    }
+
+    /// Cuts `syb` into time-range shards whose slices overlap by at least
+    /// `t_ov` ticks, converts each slice with `split`, and builds the
+    /// master registry the merged output is expressed in.
+    ///
+    /// For a lossless run under [`BoundaryPolicy::TrueExtent`], pass the
+    /// miner's `t_max` as `t_ov` (the Fig 3 lemma, one level up); `Clip`
+    /// and `Discard` are lossless for any `t_ov ≥ 0`.
+    pub fn plan(
+        &self,
+        syb: &SymbolicDatabase,
+        split: SplitConfig,
+        t_ov: i64,
+    ) -> Result<ShardPlan, String> {
+        let spans = split.shard_spans(syb.step(), syb.n_steps(), self.shards, t_ov)?;
+        let n_windows = split.n_windows(syb.step(), syb.n_steps());
+        // The master registry uses the *global* conversion's intern
+        // order, and every shard database is remapped onto it before
+        // mining. This is load-bearing for exactness, not cosmetic: the
+        // chronological tie-break for instances with identical
+        // (start, end) is the EventId, so a shard mining under its
+        // slice's own intern order could bind a tied pair in the
+        // opposite orientation from the unsharded baseline and emit the
+        // mirrored pattern. (A distributed deployment would ship this
+        // shared event dictionary to the shards the same way.)
+        let mut registry = to_sequence_database(syb, split).registry().clone();
+        let mut shards = Vec::with_capacity(spans.len());
+        let mut maps = Vec::with_capacity(spans.len());
+        for (index, span) in spans.into_iter().enumerate() {
+            let slice = syb.slice_steps(span.slice_steps.0, span.slice_steps.1);
+            let slice_db = to_sequence_database(&slice, split);
+            // Shard windows are global windows, so every slice event
+            // exists in the master registry; intern is a lookup (it
+            // would only extend the registry on a geometry bug).
+            let remap: Vec<EventId> = slice_db
+                .registry()
+                .ids()
+                .map(|e| {
+                    registry.intern(
+                        slice_db.registry().variable(e),
+                        slice_db.registry().symbol(e),
+                        || slice_db.registry().label(e).to_owned(),
+                    )
+                })
+                .collect();
+            let sequences = slice_db
+                .sequences()
+                .iter()
+                .map(|seq| {
+                    // TemporalSequence::new re-sorts, so tied instances
+                    // land in the baseline's order under the master ids.
+                    TemporalSequence::new(
+                        seq.instances()
+                            .iter()
+                            .map(|inst| EventInstance {
+                                event: remap[inst.event.0 as usize],
+                                ..*inst
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let db = SequenceDatabase::new(registry.clone(), sequences);
+            let owned: Vec<bool> = (0..db.len())
+                .map(|j| {
+                    let g = span.first_window + j;
+                    (span.owned_windows.0..span.owned_windows.1).contains(&g)
+                })
+                .collect();
+            debug_assert_eq!(
+                owned.iter().filter(|&&o| o).count(),
+                span.owned_windows.1 - span.owned_windows.0,
+                "every owned window must be emitted by its shard's slice"
+            );
+            // The shard db already speaks master ids, so its merge map
+            // is the identity; MergeSink keeps the translation seam for
+            // remote shards that arrive with foreign registries.
+            maps.push(registry.ids().collect());
+            shards.push(Shard {
+                index,
+                db,
+                owned,
+                span,
+            });
+        }
+        Ok(ShardPlan {
+            shards,
+            maps,
+            registry,
+            n_windows,
+            t_ov,
+        })
+    }
+}
+
+/// One time-range shard: its converted sequence database (owned windows
+/// plus the duplicated overlap-pad windows) and the ownership mask that
+/// the merge deduplicates by.
+#[derive(Debug)]
+pub struct Shard {
+    /// Position in the plan, `0..K`.
+    pub index: usize,
+    /// The shard's windows, converted from its own slice of the data.
+    pub db: SequenceDatabase,
+    /// `owned[i]` — window `i` of `db` is owned by this shard (exactly
+    /// one shard owns each global window).
+    pub owned: Vec<bool>,
+    /// The step/window geometry behind `db`.
+    pub span: ShardSpan,
+}
+
+/// A planned sharded mining run: per-shard databases, ownership masks,
+/// and the master registry merged patterns are expressed in.
+#[derive(Debug)]
+pub struct ShardPlan {
+    shards: Vec<Shard>,
+    /// Per shard: shard `EventId` → master `EventId`.
+    maps: Vec<Vec<EventId>>,
+    registry: EventRegistry,
+    /// Global window count — the merged `|D_SEQ|`.
+    n_windows: usize,
+    t_ov: i64,
+}
+
+impl ShardPlan {
+    /// The master registry of the merged output. Build display paths and
+    /// writer sinks against this registry, not the shards' own.
+    pub fn registry(&self) -> &EventRegistry {
+        &self.registry
+    }
+
+    /// The planned shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Global number of windows (the merged support denominator).
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    /// The shard-slice overlap in ticks.
+    pub fn t_ov(&self) -> i64 {
+        self.t_ov
+    }
+
+    /// Mines every shard (each with `threads` workers) into a streaming
+    /// [`ShardMerge`], then emits the merged, globally-thresholded output
+    /// into `sink`. Returns the merged run statistics.
+    pub fn mine_into(
+        &self,
+        cfg: &MinerConfig,
+        threads: usize,
+        sink: &mut dyn PatternSink,
+    ) -> MiningStats {
+        // Support-complete shard mining: absolute support 1, no local
+        // confidence gate — only the merge can apply the global σ/δ.
+        let shard_cfg = MinerConfig {
+            sigma: f64::MIN_POSITIVE,
+            delta: f64::MIN_POSITIVE,
+            ..*cfg
+        };
+        let mut merge = ShardMerge::new(self.registry.clone(), self.n_windows);
+        let mut clipped = 0u64;
+        let mut discarded = 0u64;
+        for (shard, map) in self.shards.iter().zip(&self.maps) {
+            {
+                let mut merge_sink = merge.sink(map);
+                let stats = if threads > 1 {
+                    crate::parallel::mine_parallel_internal(
+                        &shard.db,
+                        &shard_cfg,
+                        threads,
+                        Some(&shard.owned),
+                        &mut merge_sink,
+                    )
+                } else {
+                    crate::exact::mine_internal(
+                        &shard.db,
+                        &shard_cfg,
+                        None,
+                        Some(&shard.owned),
+                        &mut merge_sink,
+                    )
+                };
+                merge.add_stats(stats);
+            }
+            // Owned single-event supports and boundary counts, under the
+            // same boundary policy the miners applied.
+            let mut seen: Vec<bool> = vec![false; map.len()];
+            for (si, seq) in shard.db.sequences().iter().enumerate() {
+                if !shard.owned[si] {
+                    continue;
+                }
+                seen.iter_mut().for_each(|s| *s = false);
+                for inst in seq.instances() {
+                    if inst.is_clipped() {
+                        clipped += 1;
+                        if cfg.relation.boundary == BoundaryPolicy::Discard {
+                            discarded += 1;
+                            continue;
+                        }
+                    }
+                    seen[inst.event.0 as usize] = true;
+                }
+                for (e, s) in seen.iter().enumerate() {
+                    if *s {
+                        merge.add_event_support(map[e], 1);
+                    }
+                }
+            }
+        }
+        merge.set_boundary_counts(clipped, discarded);
+        merge.finish_into(cfg, sink)
+    }
+
+    /// Like [`ShardPlan::mine_into`], collecting into a [`MiningResult`]
+    /// (expressed in [`ShardPlan::registry`]).
+    pub fn mine(&self, cfg: &MinerConfig, threads: usize) -> MiningResult {
+        let mut sink = CollectSink::new();
+        let stats = self.mine_into(cfg, threads, &mut sink);
+        sink.into_result(stats)
+    }
+}
+
+/// The result of [`mine_sharded`]: the merged mining result plus the
+/// master registry its event ids refer to (shard slices intern events in
+/// their own orders, so the caller's registry does not apply).
+#[derive(Debug)]
+pub struct ShardedMining {
+    /// The merged, globally-thresholded result.
+    pub result: MiningResult,
+    /// The registry [`ShardedMining::result`] is expressed in.
+    pub registry: EventRegistry,
+    /// Number of shards actually mined (≤ the requested count).
+    pub shards: usize,
+    /// Shard-slice overlap in ticks (`t_max` of the miner config).
+    pub t_ov: i64,
+}
+
+/// One-call sharded mining: plans `shards` time-range shards over
+/// `syb`/`split` with `t_ov = cfg.relation.t_max`, mines each with
+/// `threads` workers, and merges. Equals the unsharded
+/// [`crate::mine_exact`] run on the same split — by label, support,
+/// confidence and clipped-occurrence count — for every
+/// [`BoundaryPolicy`] (for [`BoundaryPolicy::TrueExtent`] this needs the
+/// `t_ov = t_max` pad, which is why the overlap is taken from the
+/// config's `t_max`).
+pub fn mine_sharded(
+    syb: &SymbolicDatabase,
+    split: SplitConfig,
+    cfg: &MinerConfig,
+    shards: usize,
+    threads: usize,
+) -> Result<ShardedMining, String> {
+    let plan = ShardPlanner::new(shards).plan(syb, split, cfg.relation.t_max)?;
+    let result = plan.mine(cfg, threads);
+    let n_shards = plan.shards.len();
+    Ok(ShardedMining {
+        result,
+        registry: plan.registry,
+        shards: n_shards,
+        t_ov: plan.t_ov,
+    })
+}

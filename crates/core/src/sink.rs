@@ -13,9 +13,14 @@
 //! candidate nodes and the occurrence bindings of the subtree currently
 //! being grown) occupies memory.
 //!
-//! The same seam is what a future shard-merge service layer plugs into:
-//! per-shard miners emit into sinks that forward across the merge
-//! boundary instead of buffering (see ROADMAP "Sharding/scale").
+//! The same seam is what shard-by-time-range mining plugs into: each
+//! per-shard miner emits into a [`crate::MergeSink`] that forwards owned
+//! pattern statistics across the merge boundary instead of buffering a
+//! per-shard result, and [`crate::ShardMerge::finish_into`] streams the
+//! merged output into whatever downstream sink the caller chose — so
+//! `ftpm mine --shards K --stream` composes sharding with the writer
+//! sinks without ever materializing a pattern `Vec`. A future network
+//! sink slots into the same boundary (see ROADMAP "Sharding/scale").
 //!
 //! Writer sinks record the first I/O error internally and go quiet; the
 //! error is surfaced by [`PatternSink::finish`], so the mining hot path

@@ -127,6 +127,46 @@ fn all_output_paths_agree_on_demo_datasets() {
 }
 
 #[test]
+fn top_n_selection_is_stable_across_thread_counts() {
+    // `--top N` must be a total order: parallel discovery order is
+    // nondeterministic, so support/confidence ties inside the cut used
+    // to make the same command print different pattern sets run to run.
+    use ftpm_core::{rank_patterns, PatternSort};
+    let data = nist_like(0.01);
+    let cfg = MinerConfig::new(0.4, 0.4).with_max_events(3);
+    let mut selections: Vec<Vec<(ftpm_core::Pattern, usize, f64)>> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let result = if threads == 1 {
+            mine_exact(&data.seq, &cfg)
+        } else {
+            mine_exact_parallel(&data.seq, &cfg, threads)
+        };
+        for sort in [PatternSort::Support, PatternSort::Confidence] {
+            let top = rank_patterns(&result, Some(sort), Some(25));
+            // The cut must fall inside a tie group for this test to mean
+            // anything: the boundary pair agrees on the sort key.
+            let full = rank_patterns(&result, Some(sort), None);
+            assert!(full.len() > 25, "need enough patterns to truncate");
+            let key = |p: &ftpm_core::FrequentPattern| (p.support, p.confidence.to_bits());
+            assert_eq!(
+                key(full[24]),
+                key(full[25]),
+                "expected a support/confidence tie at the --top boundary"
+            );
+            selections.push(
+                top.iter()
+                    .map(|p| (p.pattern.clone(), p.support, p.confidence))
+                    .collect(),
+            );
+        }
+    }
+    for pair in selections.chunks(2).collect::<Vec<_>>().windows(2) {
+        assert_eq!(pair[0][0], pair[1][0], "--top --sort support selection drifted");
+        assert_eq!(pair[0][1], pair[1][1], "--top --sort confidence selection drifted");
+    }
+}
+
+#[test]
 fn parallel_collect_sink_merges_graph_consistently() {
     // The shared-sink merge must keep pattern_indices pointing at the
     // right patterns even though nodes interleave across workers.

@@ -39,4 +39,4 @@ pub use event::{EventId, EventRegistry};
 pub use instance::{EventInstance, Interval, InvalidInterval};
 pub use relation::{BoundaryPolicy, RelationConfig, TemporalRelation};
 pub use sequence::{SequenceDatabase, TemporalSequence};
-pub use split::{to_sequence_database, SplitConfig};
+pub use split::{to_sequence_database, ShardSpan, SplitConfig};

@@ -83,6 +83,122 @@ impl std::fmt::Display for SplitConfig {
     }
 }
 
+/// The geometry of one time-range shard of a sharded mining run: which
+/// slice of the symbolic database the shard converts and mines, and which
+/// of the resulting windows it *owns* for support counting.
+///
+/// Shard slices overlap their neighbours: each slice is padded by at
+/// least `t_ov` ticks on both sides (the left pad rounded up to a whole
+/// stride so the shard's windows stay on the global window grid). The
+/// padding serves two purposes: windows near the shard cut exist complete
+/// in at least one shard, and run extents truncated at a slice edge are
+/// guaranteed longer than `t_ov` — so with `t_ov = t_max` and
+/// [`crate::BoundaryPolicy::TrueExtent`] no truncated extent can ever
+/// satisfy the `t_max` duration constraint, which is what makes
+/// shard-by-time-range mining lossless (the PR 3 window lemma, one level
+/// up). Windows inside the padding are *duplicated* across the two
+/// adjacent shards; ownership ranges partition the global window index
+/// space, so a merge that counts only owned windows counts every window
+/// exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// Step range `[lo, hi)` of the symbolic slice this shard converts.
+    /// `lo` is always a whole number of strides, so the slice's windows
+    /// coincide with the global window grid.
+    pub slice_steps: (usize, usize),
+    /// Global window indices `[lo, hi)` this shard owns. Ownership ranges
+    /// of consecutive shards tile `0..n_windows` without gaps or overlap.
+    pub owned_windows: (usize, usize),
+    /// Global index of the first window the shard's slice emits (its
+    /// windows are `first_window, first_window + 1, …` in order).
+    pub first_window: usize,
+}
+
+impl SplitConfig {
+    /// Number of full windows this split emits over `n_steps` samples of
+    /// `step` ticks (after [`SplitConfig::effective`] rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step > 0`.
+    pub fn n_windows(&self, step: i64, n_steps: usize) -> usize {
+        let eff = self.effective(step);
+        let win = (eff.window / step) as usize;
+        let stride = (eff.stride() / step) as usize;
+        if n_steps < win {
+            0
+        } else {
+            (n_steps - win) / stride + 1
+        }
+    }
+
+    /// Cuts a database of `n_steps` samples into (at most) `shards`
+    /// time-range shards whose slices overlap by at least `t_ov` ticks —
+    /// the shard-level counterpart of the window overlap of Fig 3.
+    ///
+    /// The window index space is split into contiguous, near-equal owned
+    /// ranges; each shard's slice covers its owned windows plus a pad of
+    /// at least `max(t_ov, 1 step)` ticks on both sides (clamped at the
+    /// database edges, where the global conversion has nothing more to
+    /// see either). Asking for more shards than there are windows yields
+    /// one shard per window.
+    ///
+    /// Returns an error when `step <= 0`, `t_ov < 0`, `shards == 0`, or
+    /// no full window fits in `n_steps`.
+    pub fn shard_spans(
+        &self,
+        step: i64,
+        n_steps: usize,
+        shards: usize,
+        t_ov: i64,
+    ) -> Result<Vec<ShardSpan>, String> {
+        if step <= 0 {
+            return Err(format!("step must be positive, got {step}"));
+        }
+        if t_ov < 0 {
+            return Err(format!("shard overlap t_ov must be non-negative, got {t_ov}"));
+        }
+        if shards == 0 {
+            return Err("need at least one shard".into());
+        }
+        let eff = self.effective(step);
+        let win = (eff.window / step) as usize;
+        let stride = (eff.stride() / step) as usize;
+        if n_steps < win {
+            return Err(format!(
+                "no full window fits: window {} needs {win} steps, database has {n_steps}"
+            , eff.window));
+        }
+        let n_windows = (n_steps - win) / stride + 1;
+        let k = shards.min(n_windows);
+        // Overlap in steps, rounded up; clamping to n_steps keeps the
+        // arithmetic small even for "unconstrained" t_max-sized overlaps.
+        let t_ov_steps =
+            ((t_ov as u128).div_ceil(step as u128)).min(n_steps as u128) as usize;
+        // The pads guarantee >= 1 step beyond every owned window (so the
+        // slice reproduces the global clipped-side flags) and >= t_ov
+        // ticks (so truncated extents exceed t_ov). The left pad rounds
+        // up to whole strides to stay on the window grid.
+        let pad_right = t_ov_steps.max(1);
+        let pad_left = t_ov_steps.div_ceil(stride).max(1) * stride;
+        let mut spans = Vec::with_capacity(k);
+        for s in 0..k {
+            let lo_w = s * n_windows / k;
+            let hi_w = (s + 1) * n_windows / k;
+            let owned_start_step = lo_w * stride;
+            let owned_end_step = (hi_w - 1) * stride + win;
+            let slice_lo = owned_start_step.saturating_sub(pad_left);
+            let slice_hi = (owned_end_step + pad_right).min(n_steps);
+            spans.push(ShardSpan {
+                slice_steps: (slice_lo, slice_hi),
+                owned_windows: (lo_w, hi_w),
+                first_window: slice_lo / stride,
+            });
+        }
+        Ok(spans)
+    }
+}
+
 /// Converts a symbolic database into a temporal sequence database —
 /// the second half of the paper's Data Transformation phase.
 ///
@@ -364,6 +480,56 @@ mod tests {
         assert_eq!(eff.stride(), 10);
         // A window smaller than one step is promoted to one step.
         assert_eq!(SplitConfig::new(3, 0).effective(10).window, 10);
+    }
+
+    #[test]
+    fn shard_spans_partition_ownership_and_stay_on_grid() {
+        let split = SplitConfig::new(20, 0);
+        // 40 steps of 5 ticks => 10 windows of 4 steps, stride 4.
+        let spans = split.shard_spans(5, 40, 3, 15).expect("valid geometry");
+        assert_eq!(spans.len(), 3);
+        // Ownership tiles 0..10 exactly.
+        let mut next = 0usize;
+        for span in &spans {
+            assert_eq!(span.owned_windows.0, next);
+            next = span.owned_windows.1;
+            // Slices start on the window grid.
+            assert_eq!(span.slice_steps.0 % 4, 0);
+            assert_eq!(span.first_window, span.slice_steps.0 / 4);
+            // Every owned window lies fully inside the slice.
+            let last_end = (span.owned_windows.1 - 1) * 4 + 4;
+            assert!(span.slice_steps.0 <= span.owned_windows.0 * 4);
+            assert!(last_end <= span.slice_steps.1);
+        }
+        assert_eq!(next, 10);
+        // Interior shards are padded by at least t_ov = 15 ticks (3 steps,
+        // rounded up to one stride = 4 steps on the left).
+        assert_eq!(spans[1].slice_steps.0, spans[1].owned_windows.0 * 4 - 4);
+        assert_eq!(
+            spans[1].slice_steps.1,
+            (spans[1].owned_windows.1 - 1) * 4 + 4 + 3
+        );
+        // Edge shards clamp at the database bounds.
+        assert_eq!(spans[0].slice_steps.0, 0);
+        assert_eq!(spans[2].slice_steps.1, 40);
+    }
+
+    #[test]
+    fn shard_spans_clamp_shard_count_and_reject_bad_input() {
+        let split = SplitConfig::new(20, 0);
+        // Only 2 windows fit: asking for 8 shards yields 2.
+        let spans = split.shard_spans(5, 8, 8, 0).expect("valid");
+        assert_eq!(spans.len(), 2);
+        assert!(split.shard_spans(5, 3, 2, 0).is_err(), "no full window");
+        assert!(split.shard_spans(5, 40, 0, 0).is_err(), "zero shards");
+        assert!(split.shard_spans(5, 40, 2, -1).is_err(), "negative t_ov");
+        // A huge (unconstrained-t_max-sized) overlap degrades gracefully
+        // to whole-database slices.
+        let all = split.shard_spans(5, 40, 2, i64::MAX / 4).expect("valid");
+        assert_eq!(all[0].slice_steps, (0, 40));
+        assert_eq!(all[1].slice_steps, (0, 40));
+        assert_eq!(split.n_windows(5, 40), 10);
+        assert_eq!(split.n_windows(5, 3), 0);
     }
 
     #[test]

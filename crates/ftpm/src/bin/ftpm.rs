@@ -7,6 +7,8 @@
 //!            --output patterns.jsonl --stream
 //! ftpm mine  --demo city --approx-density 0.6 --sigma 0.3 --delta 0.3
 //! ftpm mine  --demo nist --sort support --top 20
+//! ftpm mine  --demo nist --scale 0.01 --boundary true-extent --t-max 180 \
+//!            --shards 4 --shard-by time --json
 //! ftpm graph --demo nist --scale 0.02 --mu 0.4
 //! ```
 //!
@@ -50,7 +52,8 @@ USAGE:
              [--boundary clip|true-extent|discard] [--t-max MIN]
              [--threshold F | --states N] [--scale F]
              [--mu F | --approx-density F] [--max-events N]
-             [--threads N] [--output FILE.{{csv,jsonl}}] [--stream]
+             [--threads N] [--shards K] [--shard-by time]
+             [--output FILE.{{csv,jsonl}}] [--stream]
              [--sort support|confidence] [--top N] [--json]
   ftpm graph [--input FILE.csv | --demo ...] [--mu F] [--scale F]
 
@@ -74,6 +77,13 @@ OPTIONS:
   --approx-density F A-HTPGM with correlation-graph density target
   --max-events N     cap pattern length                   [default 5]
   --threads N        worker threads for exact mining  [default: all cores]
+  --shards K         shard-by-time-range mining: cut the data into K
+                     time-range shards overlapping by t_max, mine each
+                     independently, merge losslessly (exact miner only;
+                     output equals the unsharded run). Shards mine
+                     support-complete so the merge stays exact — keep
+                     --max-events low on wide alphabets    [default 1]
+  --shard-by KEY     sharding axis; only \"time\" is implemented
   --output FILE      export patterns (.csv or .jsonl, by extension)
   --stream           stream patterns straight to --output while mining
                      (constant memory; exact miner only, no sort/top)
@@ -103,6 +113,7 @@ struct Options {
     density: Option<f64>,
     max_events: usize,
     threads: usize,
+    shards: usize,
     output: Option<String>,
     stream: bool,
     sort: Option<PatternSort>,
@@ -136,6 +147,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         density: None,
         max_events: 5,
         threads: default_threads(),
+        shards: 1,
         output: None,
         stream: false,
         sort: None,
@@ -180,6 +192,21 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--shards" => {
+                opt.shards = num(&value("--shards")?)? as usize;
+                if opt.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--shard-by" => {
+                let axis = value("--shard-by")?;
+                if axis != "time" {
+                    return Err(format!(
+                        "--shard-by {axis:?}: only \"time\" is implemented \
+                         (variable-group sharding is a ROADMAP item)"
+                    ));
+                }
+            }
             "--output" => opt.output = Some(value("--output")?),
             "--stream" => opt.stream = true,
             "--sort" => opt.sort = Some(value("--sort")?.parse()?),
@@ -212,6 +239,19 @@ fn parse(args: &[String]) -> Result<Options, String> {
         if opt.mu.is_some() || opt.density.is_some() {
             return Err("--stream supports the exact miner only".into());
         }
+    }
+    if opt.shards > 1 && (opt.mu.is_some() || opt.density.is_some()) {
+        return Err("--shards supports the exact miner only; drop --mu/--approx-density".into());
+    }
+    // The shard slices overlap by t_ov = t_max; with t_max unconstrained
+    // every slice degrades to the whole series and the run silently does
+    // K redundant full-database support-complete passes.
+    if opt.shards > 1 && opt.t_max.is_none() {
+        return Err(
+            "--shards needs a finite --t-max: the shard overlap is t_ov = t_max, so an \
+             unconstrained t_max makes every shard cover the entire series"
+                .into(),
+        );
     }
     if let Some(path) = &opt.output {
         output_format(path)?;
@@ -247,8 +287,11 @@ fn output_format(path: &str) -> Result<OutputFormat, String> {
     }
 }
 
-/// Loads the symbolic + sequence databases from the chosen source.
-fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase), String> {
+/// Loads the symbolic + sequence databases from the chosen source, plus
+/// the split geometry that produced the sequences (the demos carry their
+/// own; CSV input uses `--window`/`--overlap`) — sharded runs re-split
+/// per shard with exactly this geometry.
+fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase, SplitConfig), String> {
     if let Some(demo) = &opt.demo {
         let d = match demo.as_str() {
             "nist" => nist_like(opt.scale),
@@ -257,7 +300,7 @@ fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase), String> {
             "city" => smartcity_like(opt.scale),
             other => return Err(format!("unknown demo dataset {other:?}")),
         };
-        return Ok((d.syb, d.seq));
+        return Ok((d.syb, d.seq, d.split));
     }
     let path = opt.input.as_ref().expect("checked in parse");
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -284,15 +327,18 @@ fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase), String> {
         );
     }
     let seq = to_sequence_database(&syb, split);
-    Ok((syb, seq))
+    Ok((syb, seq, split))
 }
 
-/// Opens `path`, builds the sink matching its extension, hands it to
-/// `feed`, then finishes the sink. Returns the number of pattern
-/// rows/lines written. The single place the CSV/JSONL dispatch lives.
+/// Opens `path`, builds the sink matching its extension (labels rendered
+/// through `registry` — for sharded runs that is the plan's master
+/// registry, not the unsharded database's), hands it to `feed`, then
+/// finishes the sink. Returns the number of pattern rows/lines written.
+/// The single place the CSV/JSONL dispatch lives; I/O failures (full
+/// disk, closed pipe) surface as errors, never panics.
 fn write_patterns(
     path: &str,
-    seq: &SequenceDatabase,
+    registry: &EventRegistry,
     feed: &mut dyn FnMut(&mut (dyn PatternSink + Send)),
 ) -> Result<u64, String> {
     let format = output_format(path).expect("validated in parse");
@@ -300,12 +346,12 @@ fn write_patterns(
     let out = BufWriter::new(file);
     let (written, finished) = match format {
         OutputFormat::Csv => {
-            let mut sink = CsvSink::new(out, seq.registry());
+            let mut sink = CsvSink::new(out, registry);
             feed(&mut sink);
             (sink.written(), sink.finish())
         }
         OutputFormat::Jsonl => {
-            let mut sink = JsonlSink::new(out, seq.registry());
+            let mut sink = JsonlSink::new(out, registry);
             feed(&mut sink);
             (sink.written(), sink.finish())
         }
@@ -315,19 +361,23 @@ fn write_patterns(
 }
 
 /// Streams the mining run straight into `--output`; returns the number
-/// of patterns written and the run statistics.
+/// of patterns written and the run statistics. With a shard plan, each
+/// shard's miner streams through the deduplicating merge into the same
+/// writer sink — the full pattern set is still never materialized.
 fn mine_streaming(
     seq: &SequenceDatabase,
     cfg: &MinerConfig,
     threads: usize,
+    shard_plan: Option<&ShardPlan>,
     path: &str,
 ) -> Result<(u64, MiningStats), String> {
     let mut stats = MiningStats::default();
-    let written = write_patterns(path, seq, &mut |sink| {
-        stats = if threads > 1 {
-            mine_exact_parallel_with_sink(seq, cfg, threads, sink)
-        } else {
-            mine_exact_with_sink(seq, cfg, sink)
+    let registry = shard_plan.map_or(seq.registry(), |p| p.registry());
+    let written = write_patterns(path, registry, &mut |sink| {
+        stats = match shard_plan {
+            Some(plan) => plan.mine_into(cfg, threads, sink),
+            None if threads > 1 => mine_exact_parallel_with_sink(seq, cfg, threads, sink),
+            None => mine_exact_with_sink(seq, cfg, sink),
         };
     })?;
     Ok((written, stats))
@@ -340,14 +390,14 @@ fn mine_streaming(
 fn export_result(
     result: &MiningResult,
     selection: &[&FrequentPattern],
-    seq: &SequenceDatabase,
+    registry: &EventRegistry,
     path: &str,
     reordered: bool,
 ) -> Result<u64, String> {
     if !reordered && selection.len() == result.len() {
-        return write_patterns(path, seq, &mut |sink| result.replay_into(sink));
+        return write_patterns(path, registry, &mut |sink| result.replay_into(sink));
     }
-    write_patterns(path, seq, &mut |sink| {
+    write_patterns(path, registry, &mut |sink| {
         sink.begin(&[]);
         for fp in selection {
             sink.node(
@@ -370,9 +420,18 @@ fn run_mine(args: &[String]) -> ExitCode {
     }
 }
 
+/// Serializes the JSON summary — a full disk or closed pipe is a
+/// reportable I/O error (nonzero exit), not a panic.
+fn print_json(payload: &serde_json::Value) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(payload)
+        .map_err(|e| format!("serializing JSON summary: {e}"))?;
+    let stdout = std::io::stdout();
+    writeln!(stdout.lock(), "{text}").map_err(|e| format!("stdout: {e}"))
+}
+
 fn try_mine(args: &[String]) -> Result<(), String> {
     let opt = parse(args)?;
-    let (syb, seq) = load(&opt)?;
+    let (syb, seq, split) = load(&opt)?;
     let mut relation = RelationConfig::default().with_boundary(opt.boundary);
     if let Some(t_max) = opt.t_max {
         relation = relation.with_t_max(t_max);
@@ -383,11 +442,24 @@ fn try_mine(args: &[String]) -> Result<(), String> {
     let approx = opt.mu.is_some() || opt.density.is_some();
     // A-HTPGM has no parallel path; report the thread count actually used.
     let threads = if approx { 1 } else { opt.threads };
+    // Shard-by-time-range plan: slices overlap by t_max so the merged
+    // output equals the unsharded run (lossless under every policy).
+    let shard_plan = if opt.shards > 1 {
+        Some(
+            ShardPlanner::new(opt.shards)
+                .plan(&syb, split, cfg.relation.t_max)
+                .map_err(|e| format!("--shards: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let shards = shard_plan.as_ref().map_or(1, |p| p.shards().len());
 
     let started = std::time::Instant::now();
     if opt.stream {
         let path = opt.output.as_ref().expect("validated in parse");
-        let (written, stats) = mine_streaming(&seq, &cfg, threads, path)?;
+        let (written, stats) =
+            mine_streaming(&seq, &cfg, threads, shard_plan.as_ref(), path)?;
         let elapsed = started.elapsed();
         if opt.json {
             let payload = serde_json::json!({
@@ -395,6 +467,7 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 "sequences": seq.len(),
                 "distinct_events": seq.registry().len(),
                 "threads": threads,
+                "shards": shards,
                 "boundary": opt.boundary.as_str(),
                 "clipped_instances": stats.clipped_instances,
                 "discarded_instances": stats.discarded_instances,
@@ -403,23 +476,31 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 "output": path.as_str(),
                 "streamed": true,
             });
-            println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
+            print_json(&payload)?;
         } else {
-            println!(
+            let stdout = std::io::stdout();
+            writeln!(
+                stdout.lock(),
                 "E-HTPGM: {} sequences, {} distinct events ({} boundary-clipped \
                  instances, boundary={}), {written} patterns streamed to {path} \
-                 in {elapsed:.1?} ({threads} threads)",
+                 in {elapsed:.1?} ({threads} threads, {shards} shards)",
                 seq.len(),
                 seq.registry().len(),
                 stats.clipped_instances,
                 opt.boundary,
-            );
+            )
+            .map_err(|e| format!("stdout: {e}"))?;
         }
         return Ok(());
     }
 
     let (result, label) = if let Some(mu) = opt.mu {
         (mine_approximate(&syb, &seq, mu, &cfg).result, format!("A-HTPGM(mu={mu})"))
+    } else if let Some(plan) = &shard_plan {
+        (
+            plan.mine(&cfg, threads),
+            format!("E-HTPGM[{} shards]", plan.shards().len()),
+        )
     } else if let Some(d) = opt.density {
         (
             mine_approximate_with_density(&syb, &seq, d, &cfg).result,
@@ -431,12 +512,16 @@ fn try_mine(args: &[String]) -> Result<(), String> {
         (mine_exact(&seq, &cfg), "E-HTPGM".to_owned())
     };
     let elapsed = started.elapsed();
+    // Sharded results are expressed in the plan's master registry; shard
+    // slices intern events in their own orders, so the unsharded
+    // database's ids do not apply.
+    let registry = shard_plan.as_ref().map_or(seq.registry(), |p| p.registry());
     let selection = rank_patterns(&result, opt.sort, opt.top);
 
     let exported = match &opt.output {
         Some(path) => Some((
             path.as_str(),
-            export_result(&result, &selection, &seq, path, opt.sort.is_some())?,
+            export_result(&result, &selection, registry, path, opt.sort.is_some())?,
         )),
         None => None,
     };
@@ -447,13 +532,14 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             "sequences": seq.len(),
             "distinct_events": seq.registry().len(),
             "threads": threads,
+            "shards": shards,
             "boundary": opt.boundary.as_str(),
             "clipped_instances": result.stats.clipped_instances,
             "discarded_instances": result.stats.discarded_instances,
             "elapsed_ms": elapsed.as_millis() as u64,
             "pattern_count": result.len(),
             "patterns": selection.iter().map(|p| serde_json::json!({
-                "pattern": p.pattern.display(seq.registry()).to_string(),
+                "pattern": p.pattern.display(registry).to_string(),
                 "support": p.support,
                 "rel_support": p.rel_support,
                 "confidence": p.confidence,
@@ -463,40 +549,47 @@ fn try_mine(args: &[String]) -> Result<(), String> {
         if let (Some((path, _)), serde_json::Value::Object(entries)) = (&exported, &mut payload) {
             entries.push(("output".to_string(), serde_json::Value::from(*path)));
         }
-        println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
+        print_json(&payload)?;
     } else {
         let shown = if selection.len() < result.len() {
             format!(" (showing {})", selection.len())
         } else {
             String::new()
         };
-        println!(
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let io_err = |e: std::io::Error| format!("stdout: {e}");
+        writeln!(
+            out,
             "{label}: {} sequences, {} distinct events, {} patterns{shown} in {elapsed:.1?} \
              ({threads} threads)",
             seq.len(),
             seq.registry().len(),
             result.len(),
-        );
+        )
+        .map_err(io_err)?;
         if opt.boundary != BoundaryPolicy::Clip || result.stats.clipped_instances > 0 {
-            println!(
+            writeln!(
+                out,
                 "boundary={}: {} boundary-clipped instances, {} discarded",
                 opt.boundary, result.stats.clipped_instances, result.stats.discarded_instances,
-            );
+            )
+            .map_err(io_err)?;
         }
-        let stdout = std::io::stdout();
-        let mut out = stdout.lock();
         for fp in &selection {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "{}  [supp={} ({:.0}%), conf={:.0}%]",
-                fp.pattern.display(seq.registry()),
+                fp.pattern.display(registry),
                 fp.support,
                 fp.rel_support * 100.0,
                 fp.confidence * 100.0,
-            );
+            )
+            .map_err(|e| format!("stdout: {e}"))?;
         }
         if let Some((path, written)) = exported {
-            println!("wrote {written} patterns to {path}");
+            writeln!(out, "wrote {written} patterns to {path}")
+                .map_err(|e| format!("stdout: {e}"))?;
         }
     }
     Ok(())
@@ -510,7 +603,7 @@ fn run_graph(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (syb, _) = match load(&opt) {
+    let (syb, _, _) = match load(&opt) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");

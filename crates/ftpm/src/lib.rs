@@ -49,10 +49,11 @@ pub use ftpm_core::{
     closed_patterns, event_indicator_database, maximal_patterns, pattern_lift, rank_patterns,
     top_k_by_lift, mine_approximate, mine_approximate_event_level,
     mine_approximate_with_density, mine_exact, mine_exact_parallel,
-    mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference, ApproxOutcome,
-    CollectSink, CountingSink, CsvSink, DatabaseIndex, FrequentPattern,
-    HierarchicalPatternGraph, JsonlSink, MinerConfig, MiningResult, MiningStats, Pattern,
-    PatternSink, PatternSort, PruningConfig,
+    mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference, mine_sharded,
+    ApproxOutcome, CollectSink, CountingSink, CsvSink, DatabaseIndex, FrequentPattern,
+    HierarchicalPatternGraph, JsonlSink, MergeSink, MinerConfig, MiningResult, MiningStats,
+    Pattern, PatternSink, PatternSort, PruningConfig, Shard, ShardMerge, ShardPlan,
+    ShardPlanner, ShardedMining,
 };
 pub use ftpm_datagen::{
     dataport_like, generate_city, generate_energy, nist_like, random_sequence_database,
@@ -60,8 +61,8 @@ pub use ftpm_datagen::{
 };
 pub use ftpm_events::{
     to_sequence_database, BoundaryPolicy, EventId, EventInstance, EventRegistry, Interval,
-    InvalidInterval, RelationConfig, SequenceDatabase, SplitConfig, TemporalRelation,
-    TemporalSequence,
+    InvalidInterval, RelationConfig, SequenceDatabase, ShardSpan, SplitConfig,
+    TemporalRelation, TemporalSequence,
 };
 pub use ftpm_mi::{
     conditional_entropy, confidence_lower_bound, entropy, joint_distribution, mu_for_density,

@@ -223,6 +223,39 @@ impl SymbolicDatabase {
             .map(|i| VariableId(i as u32))
     }
 
+    /// Returns a copy restricted to the step range `[lo, hi)`, keeping
+    /// every variable and the absolute clock: step 0 of the slice is step
+    /// `lo` of this database and starts at the same wall-clock time. Used
+    /// by shard-by-time-range mining, where each shard converts and mines
+    /// only its own slice of the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi <= n_steps`.
+    pub fn slice_steps(&self, lo: usize, hi: usize) -> SymbolicDatabase {
+        assert!(
+            lo < hi && hi <= self.n_steps,
+            "invalid step slice [{lo}, {hi}) of {} steps",
+            self.n_steps
+        );
+        SymbolicDatabase {
+            series: self
+                .series
+                .iter()
+                .map(|s| {
+                    SymbolicSeries::new(
+                        s.name(),
+                        s.alphabet().clone(),
+                        s.symbols()[lo..hi].to_vec(),
+                    )
+                })
+                .collect(),
+            start: self.time_at(lo),
+            step: self.step,
+            n_steps: hi - lo,
+        }
+    }
+
     /// Returns a copy restricted to the given variables, preserving order.
     /// Used by A-HTPGM to mine only the correlated subset `X_C` and by the
     /// Fig 12/13 attribute-scalability experiments.
@@ -306,6 +339,29 @@ mod tests {
         assert_eq!(sub.series(VariableId(0)).name(), "C");
         assert_eq!(sub.series(VariableId(1)).name(), "A");
         assert_eq!(sub.step(), db.step());
+    }
+
+    #[test]
+    fn slice_steps_keeps_clock_and_variables() {
+        let db = db_with(&["K", "T"], &["110010", "011011"]);
+        let slice = db.slice_steps(2, 5);
+        assert_eq!(slice.n_variables(), 2);
+        assert_eq!(slice.n_steps(), 3);
+        assert_eq!(slice.step(), db.step());
+        // Absolute clock preserved: slice step 0 == db step 2.
+        assert_eq!(slice.start(), db.time_at(2));
+        assert_eq!(slice.time_at(1), db.time_at(3));
+        assert_eq!(
+            slice.series(VariableId(0)).symbols(),
+            &db.series(VariableId(0)).symbols()[2..5]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid step slice")]
+    fn slice_steps_rejects_reversed_range() {
+        let db = db_with(&["K"], &["1100"]);
+        let _ = db.slice_steps(3, 3);
     }
 
     #[test]
