@@ -679,6 +679,181 @@ pub fn shard_equivalence(opts: &Opts) -> bool {
     k4_equal
 }
 
+/// Candidate-exchange pruning (beyond the paper; ROADMAP
+/// "Sharding/scale"): mines the energy demo unsharded, sharded
+/// support-complete, and sharded through the two-phase candidate
+/// exchange, for K ∈ {2, 4}. The exchange must (a) reproduce the
+/// unsharded pattern set exactly and (b) generate *strictly fewer*
+/// candidates per shard than the support-complete path — the whole point
+/// of exchanging candidates is that the global σ/δ gate kills losers
+/// before the next level is enumerated anywhere. Writes
+/// `results/exchange_pruning.{csv,json}` (per-shard candidate counts and
+/// wall times included) and returns whether both held (the CI gate).
+pub fn exchange_pruning(opts: &Opts) -> bool {
+    use std::collections::HashMap;
+
+    use ftpm_core::{CollectSink, ShardPlanner, ShardReport};
+    use ftpm_events::{BoundaryPolicy, EventRegistry, RelationConfig};
+
+    let data = nist_like(opts.scale).project_variables(8);
+    let t_max = 3 * 60;
+    let cfg = MinerConfig::new(0.25, 0.25)
+        .with_max_events(opts.max_events)
+        .with_relation(
+            RelationConfig::new(0, 1, t_max).with_boundary(BoundaryPolicy::TrueExtent),
+        );
+    println!(
+        "Exchange pruning: {} ({} windows, {}, t_max {t_max}, scale {})\n",
+        data.name,
+        data.seq.len(),
+        data.split,
+        opts.scale
+    );
+
+    let labelled = |result: &ftpm_core::MiningResult, registry: &EventRegistry| {
+        result
+            .patterns
+            .iter()
+            .map(|p| {
+                (
+                    p.pattern.display(registry).to_string(),
+                    (p.support, p.confidence, p.clipped_occurrences),
+                )
+            })
+            .collect::<HashMap<String, (usize, f64, usize)>>()
+    };
+    let (base, base_secs) = time(|| mine_exact(&data.seq, &cfg));
+    let base_map = labelled(&base, data.seq.registry());
+
+    let mut report = Report::new(
+        "exchange_pruning",
+        &[
+            "shards", "mode", "candidates", "pruned", "patterns", "missing", "extra",
+            "seconds", "equal",
+        ],
+    );
+    report.row(vec![
+        "1".into(),
+        "unsharded".into(),
+        base.stats.patterns_found.iter().sum::<usize>().to_string(),
+        "0".into(),
+        base.len().to_string(),
+        "0".into(),
+        "0".into(),
+        secs(base_secs),
+        "true".into(),
+    ]);
+    let shard_rows_json = |reports: &[ShardReport]| {
+        reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "        {{\"shard\": {}, \"windows_owned\": {}, \
+                     \"candidates_proposed\": {}, \"candidates_pruned\": {}, \
+                     \"wall_ms\": {}}}",
+                    r.shard,
+                    r.windows_owned,
+                    r.candidates_proposed,
+                    r.candidates_pruned,
+                    r.wall.as_millis()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+
+    let mut json_rows = Vec::new();
+    let mut exchange_equal = true;
+    let mut exchange_prunes = true;
+    for k in [2usize, 4] {
+        let plan = ShardPlanner::new(k)
+            .plan(&data.syb, data.split, t_max)
+            .expect("valid shard geometry");
+        let mut runs = Vec::new();
+        {
+            let mut sink = CollectSink::new();
+            let ((stats, reports), elapsed) =
+                time(|| plan.mine_into_reported(&cfg, 1, &mut sink));
+            runs.push(("support-complete", sink.into_result(stats), reports, elapsed));
+        }
+        let ((exchange_result, exchange_reports), elapsed) =
+            time(|| plan.mine_exchange(&cfg, 1));
+        runs.push(("exchange", exchange_result, exchange_reports, elapsed));
+
+        let candidates: HashMap<&str, usize> = runs
+            .iter()
+            .map(|(mode, _, reports, _)| {
+                (*mode, reports.iter().map(|r| r.candidates_proposed).sum())
+            })
+            .collect();
+        if candidates["exchange"] >= candidates["support-complete"] {
+            exchange_prunes = false;
+        }
+        for (mode, result, reports, elapsed) in &runs {
+            let merged_map = labelled(result, plan.registry());
+            let missing = base_map.keys().filter(|l| !merged_map.contains_key(*l)).count();
+            let extra = merged_map.keys().filter(|l| !base_map.contains_key(*l)).count();
+            let stat_mismatches = base_map
+                .iter()
+                .filter(|(label, (supp, conf, clipped))| {
+                    merged_map.get(*label).is_some_and(|(s, c, cl)| {
+                        s != supp || (c - conf).abs() >= 1e-9 || cl != clipped
+                    })
+                })
+                .count();
+            let equal = missing == 0 && extra == 0 && stat_mismatches == 0;
+            if *mode == "exchange" && !equal {
+                exchange_equal = false;
+            }
+            let pruned: usize = reports.iter().map(|r| r.candidates_pruned).sum();
+            report.row(vec![
+                k.to_string(),
+                (*mode).into(),
+                candidates[mode].to_string(),
+                pruned.to_string(),
+                result.len().to_string(),
+                missing.to_string(),
+                extra.to_string(),
+                secs(*elapsed),
+                equal.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"shards\": {k}, \"mode\": \"{mode}\", \
+                 \"candidates_proposed\": {}, \"candidates_pruned\": {pruned}, \
+                 \"patterns\": {}, \"missing\": {missing}, \"extra\": {extra}, \
+                 \"stat_mismatches\": {stat_mismatches}, \"equal\": {equal}, \
+                 \"seconds\": {}, \"shard_reports\": [\n{}\n    ]}}",
+                candidates[mode],
+                result.len(),
+                elapsed.as_secs_f64(),
+                shard_rows_json(reports),
+            ));
+        }
+    }
+    report.finish();
+
+    // Machine-readable summary for the CI exchange-pruning gate.
+    let json = format!(
+        "{{\n  \"experiment\": \"exchange_pruning\",\n  \"dataset\": \"{}\",\n  \
+         \"windows\": {},\n  \"t_ov\": {t_max},\n  \"t_max\": {t_max},\n  \
+         \"boundary\": \"true-extent\",\n  \"scale\": {},\n  \
+         \"unsharded_candidates\": {},\n  \
+         \"exchange_equal\": {exchange_equal},\n  \
+         \"exchange_prunes\": {exchange_prunes},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        data.name,
+        data.seq.len(),
+        opts.scale,
+        base.stats.patterns_found.iter().sum::<usize>(),
+        json_rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/exchange_pruning.json", json) {
+        Ok(()) => println!("wrote results/exchange_pruning.json"),
+        Err(e) => eprintln!("could not write results/exchange_pruning.json: {e}"),
+    }
+    exchange_equal && exchange_prunes
+}
+
 fn scalability(name: &str, data: &Dataset, opts: &Opts, by_sequences: bool) {
     let methods = [
         Method::AHtpgm(0.6),

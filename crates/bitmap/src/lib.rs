@@ -120,6 +120,34 @@ impl Bitmap {
         }
     }
 
+    /// Fused AND + popcount: `self.and(other).count_ones()` without
+    /// materializing the intermediate bitmap. This is the support of a
+    /// candidate event combination (Alg. 1, line 8), and the Apriori
+    /// gates call it for *every* candidate — most of which are pruned, so
+    /// never paying the allocation is a hot-path win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ftpm_bitmap::Bitmap;
+    ///
+    /// let a = Bitmap::from_indices(100, [3, 64, 99]);
+    /// let b = Bitmap::from_indices(100, [64, 99]);
+    /// assert_eq!(a.and_count(&b), a.and(&b).count_ones());
+    /// ```
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// In-place bitwise AND.
     ///
     /// # Panics
@@ -271,6 +299,23 @@ mod tests {
     }
 
     #[test]
+    fn and_count_is_fused_and_popcount() {
+        let a = Bitmap::from_indices(200, [1, 100, 150, 199]);
+        let b = Bitmap::from_indices(200, [100, 199]);
+        assert_eq!(a.and_count(&b), 2);
+        assert_eq!(a.and_count(&b), a.and(&b).count_ones());
+        assert_eq!(a.and_count(&Bitmap::new(200)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn and_count_mismatched_lengths_panics() {
+        let a = Bitmap::new(10);
+        let b = Bitmap::new(11);
+        let _ = a.and_count(&b);
+    }
+
+    #[test]
     fn or_unions() {
         let a = Bitmap::from_indices(100, [1, 2]);
         let b = Bitmap::from_indices(100, [2, 3]);
@@ -344,6 +389,17 @@ mod tests {
             // never exceeds individual support.
             prop_assert!(c.count_ones() <= a.count_ones());
             prop_assert!(c.count_ones() <= b.count_ones());
+        }
+
+        #[test]
+        fn prop_and_count_matches_allocating_path(
+            len in 1usize..300,
+            a_raw in proptest::collection::vec(0usize..300, 0..32),
+            b_raw in proptest::collection::vec(0usize..300, 0..32),
+        ) {
+            let a = Bitmap::from_indices(len, a_raw.into_iter().map(|i| i % len));
+            let b = Bitmap::from_indices(len, b_raw.into_iter().map(|i| i % len));
+            prop_assert_eq!(a.and_count(&b), a.and(&b).count_ones());
         }
 
         #[test]

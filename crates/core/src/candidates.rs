@@ -139,12 +139,14 @@ impl L2Engine<'_> {
         ej: EventId,
         stats: &mut MiningStats,
     ) -> Option<WorkNode> {
-        let joint = self.index.bitmap(ei).and(self.index.bitmap(ej));
-        let joint_supp = joint.count_ones();
+        // Gate on the fused AND+popcount first: most candidates die here,
+        // and the joint bitmap is only materialized for the survivors.
+        let joint_supp = self.index.joint_support(ei, ej);
         let max_supp = self.index.support(ei).max(self.index.support(ej));
         if !apriori_gate(self.cfg, self.sigma_abs, joint_supp, max_supp, stats) {
             return None;
         }
+        let joint = self.index.bitmap(ei).and(self.index.bitmap(ej));
         stats.nodes_verified[0] += 1;
         self.verify_pair(ei, ej, &joint, max_supp, stats)
     }

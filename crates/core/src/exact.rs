@@ -128,12 +128,15 @@ fn decode_column(mut code: u64, len: usize) -> Vec<TemporalRelation> {
     rels
 }
 
-/// `owned` is the shard-mining seam: when present, emitted patterns count
-/// support (and clipped occurrences) only over the sequences whose mask
-/// entry is `true` — the windows this shard *owns* — so a downstream
-/// [`crate::ShardMerge`] can sum per-shard stats without double-counting
-/// the windows duplicated into neighbouring shards' overlap pads.
-/// Threshold gating during mining still sees every sequence of `db`.
+/// `owned` is the shard-mining seam: when present, the index (and hence
+/// every bitmap, occurrence binding and support the miner derives from
+/// it) is restricted to the sequences whose mask entry is `true` — the
+/// windows this shard *owns* — so a downstream [`crate::ShardMerge`] can
+/// sum per-shard stats without double-counting the windows duplicated
+/// into neighbouring shards' overlap pads. The pad windows exist in `db`
+/// only for the conversion's run extents; pattern growth never crosses a
+/// window boundary, so masking them out of mining loses nothing and
+/// skips their (always-discarded) enumeration work entirely.
 pub(crate) fn mine_internal(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
@@ -144,7 +147,7 @@ pub(crate) fn mine_internal(
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
-    let index = DatabaseIndex::build_with_policy(db, cfg.relation.boundary);
+    let index = DatabaseIndex::build_masked(db, cfg.relation.boundary, owned);
     let mut stats = MiningStats::default();
     record_boundary_stats(db, cfg, &mut stats);
     stats.nodes_verified.push(0);
@@ -347,6 +350,75 @@ pub(crate) fn extend_node(
     })
 }
 
+/// Tries every candidate last event `ek` for `node` (level `k` in event
+/// count for the children) and returns the surviving children — the
+/// candidate-extension loop shared by the depth-first
+/// [`GrowContext::grow_node`] and the exchange executor's propose stage
+/// (which passes local `sigma_abs = 1` so only empty joints are gated).
+/// Keeping one copy is load-bearing: the two paths must stay
+/// semantically identical for the exchange's bit-identical-output
+/// guarantee. `stats` must already have level slots up to `k - 1`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grow_candidates(
+    db: &SequenceDatabase,
+    index: &DatabaseIndex,
+    cfg: &MinerConfig,
+    stats: &mut MiningStats,
+    node: &WorkNode,
+    freq_events: &[EventId],
+    pair_relations: &PairRelations,
+    sigma_abs: usize,
+    k: usize,
+) -> Vec<WorkNode> {
+    let mut children: Vec<WorkNode> = Vec::new();
+    'candidates: for &ek in freq_events {
+        if cfg.pruning.transitivity {
+            // Per-node Lemma 5: every node event must form at least
+            // one frequent relation with ek, or no k-event pattern
+            // over this combination can be frequent.
+            for &e in &node.events {
+                if !pair_relations.any(e, ek) {
+                    stats.transitivity_pruned += 1;
+                    continue 'candidates;
+                }
+            }
+        }
+        // Fused AND+popcount gates the candidate before the joint
+        // bitmap is allocated — pruned candidates never pay for it.
+        let joint_supp = node.bitmap.and_count(index.bitmap(ek));
+        let max_supp = node
+            .events
+            .iter()
+            .map(|&e| index.support(e))
+            .max()
+            .expect("nodes have events")
+            .max(index.support(ek));
+        if !apriori_gate(cfg, sigma_abs, joint_supp, max_supp, stats) {
+            continue;
+        }
+        let joint = node.bitmap.and(index.bitmap(ek));
+        stats.nodes_verified[k - 2] += 1;
+        if let Some(child) = extend_node(
+            db,
+            index,
+            cfg,
+            stats,
+            node,
+            ek,
+            &joint,
+            joint_supp,
+            max_supp,
+            sigma_abs,
+            pair_relations,
+        ) {
+            stats.nodes_kept[k - 2] += 1;
+            stats.patterns_found[k - 2] += child.patterns.len();
+            children.push(child);
+        }
+    }
+    children
+}
+
 /// Depth-first growth of the Hierarchical Pattern Graph below L2.
 pub(crate) struct GrowContext<'a> {
     pub(crate) db: &'a SequenceDatabase,
@@ -381,50 +453,17 @@ impl GrowContext<'_> {
             self.stats.nodes_kept.push(0);
             self.stats.patterns_found.push(0);
         }
-        let mut children: Vec<WorkNode> = Vec::new();
-        'candidates: for &ek in self.freq_events {
-            if self.cfg.pruning.transitivity {
-                // Per-node Lemma 5: every node event must form at least
-                // one frequent relation with ek, or no k-event pattern
-                // over this combination can be frequent.
-                for &e in &node.events {
-                    if !self.pair_relations.any(e, ek) {
-                        self.stats.transitivity_pruned += 1;
-                        continue 'candidates;
-                    }
-                }
-            }
-            let joint = node.bitmap.and(self.index.bitmap(ek));
-            let joint_supp = joint.count_ones();
-            let max_supp = node
-                .events
-                .iter()
-                .map(|&e| self.index.support(e))
-                .max()
-                .expect("nodes have events")
-                .max(self.index.support(ek));
-            if !apriori_gate(self.cfg, self.sigma_abs, joint_supp, max_supp, self.stats) {
-                continue;
-            }
-            self.stats.nodes_verified[k - 2] += 1;
-            if let Some(child) = extend_node(
-                self.db,
-                self.index,
-                self.cfg,
-                self.stats,
-                &node,
-                ek,
-                &joint,
-                joint_supp,
-                max_supp,
-                self.sigma_abs,
-                self.pair_relations,
-            ) {
-                self.stats.nodes_kept[k - 2] += 1;
-                self.stats.patterns_found[k - 2] += child.patterns.len();
-                children.push(child);
-            }
-        }
+        let children = grow_candidates(
+            self.db,
+            self.index,
+            self.cfg,
+            self.stats,
+            &node,
+            self.freq_events,
+            self.pair_relations,
+            self.sigma_abs,
+            k,
+        );
         // The parent's occurrences are no longer needed once all its
         // children have been generated.
         archive_node(self.sink, self.db, self.db_has_clipped, self.owned, node, k - 1);

@@ -1,0 +1,473 @@
+//! Two-phase candidate-exchange shard executor.
+//!
+//! The support-complete sharded path (see [`crate::shard`]) buys an exact
+//! merge by giving up per-shard pruning: each shard mines with local
+//! `σ_abs = 1` because a globally frequent pattern may sit below
+//! threshold in every single shard. This module restores real pruning
+//! with the classic scatter/gather split: shards and a coordinator walk
+//! the Hierarchical Pattern Graph *in lockstep, one level at a time*.
+//!
+//! Each round `k`:
+//!
+//! 1. **Propose** — every shard enumerates its level-`k` candidates
+//!    (support-complete locally, grown only from the previous round's
+//!    survivors) and reports each with its **owned** support and owned
+//!    clipped-occurrence count: "what do you see, and how often?".
+//! 2. **Gate** — the coordinator sums owned supports across shards
+//!    (window ownership partitions the window space, so the sums are the
+//!    exact global statistics) and applies the *global* σ/δ Apriori gate.
+//!    A pattern that cannot reach the global thresholds dies here — in
+//!    every shard at once — before level `k + 1` is ever enumerated.
+//!    This is sound for the same reason single-machine Apriori is: an
+//!    occurrence of a `(k+1)`-pattern contains an occurrence of its
+//!    `k`-prefix in the same window, so `supp(prefix) ≥ supp(P)` and
+//!    `conf(prefix) ≥ conf(P)` hold on the *summed* statistics.
+//! 3. **Retain/expand** — shards drop the losers' occurrence bindings
+//!    and grow only the survivors into round `k + 1`.
+//!
+//! The surviving candidates accumulate into a [`crate::ShardMerge`],
+//! which keeps the final confidence/stats pass and the deterministic
+//! sorted emission — the merged output is bit-identical to the
+//! support-complete path and to the unsharded [`crate::mine_exact`].
+//!
+//! Shards run their propose/expand stages concurrently on the scoped
+//! worker machinery of [`crate::parallel`]; the thread budget is split
+//! between shard-level concurrency and intra-shard workers (L2 pair
+//! chunks, level-`k` node growth), so `--threads` composes with
+//! `--shards`. The propose/recount calls on `ShardWorker` are the seam
+//! a cross-machine deployment would turn into RPC messages: the
+//! coordinator only ever sees `(pattern, owned support, owned clipped)`
+//! triples and broadcasts survivor sets.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use ftpm_events::{BoundaryPolicy, EventId};
+
+use crate::candidates::{L2Engine, PairRelations, WorkNode, CONF_EPS};
+use crate::config::MinerConfig;
+use crate::exact::{grow_candidates, MAX_EVENTS_HARD_CAP};
+use crate::index::DatabaseIndex;
+use crate::merge::{merge_stats, ShardMerge};
+use crate::parallel::{par_for_each, par_map};
+use crate::pattern::Pattern;
+use crate::result::MiningStats;
+use crate::shard::{Shard, ShardPlan};
+use crate::sink::PatternSink;
+
+/// How a shard behaved during one sharded mining run — the per-shard
+/// observability the CLI and the `repro_exchange` gate report.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard position in the plan, `0..K`.
+    pub shard: usize,
+    /// Windows this shard owns (its share of the global `|D_SEQ|`).
+    pub windows_owned: usize,
+    /// Candidate patterns the shard generated across all levels. Under
+    /// candidate exchange this counts only patterns grown from globally
+    /// surviving parents; under the support-complete path it counts every
+    /// pattern with owned support ≥ 1.
+    pub candidates_proposed: usize,
+    /// Proposed candidates killed by the global σ/δ gate (0 for the
+    /// support-complete path, which defers all filtering to the merge).
+    pub candidates_pruned: usize,
+    /// Wall time the shard spent in its mining stages.
+    pub wall: Duration,
+}
+
+/// Owned statistics of one proposed candidate: `(support, clipped)`.
+type OwnedStats = (usize, usize);
+
+/// Per-shard worker of the exchange executor: holds the shard's masked
+/// index and the current level's occurrence bindings, and answers the
+/// two protocol questions — [`propose`](ShardWorker::propose_l2) ("what
+/// do you see?") and [`recount`](ShardWorker::recount) ("how often do
+/// you see these?") — as independent calls.
+pub(crate) struct ShardWorker<'a> {
+    shard: &'a Shard,
+    /// Support-complete local config: global relation model and pruning
+    /// switches, but `σ`/`δ` ≈ 0 — only the coordinator may threshold.
+    local_cfg: MinerConfig,
+    boundary: BoundaryPolicy,
+    /// Intra-shard worker threads for the propose stages.
+    threads: usize,
+    /// Masked to the shard's owned windows (built by [`ShardWorker::l1`]
+    /// in the first concurrent round): overlap-pad windows are invisible
+    /// to mining — they exist only for the conversion's run extents — so
+    /// every enumerated occurrence is an owned occurrence and local
+    /// supports *are* owned supports.
+    index: Option<DatabaseIndex>,
+    /// Whether any owned instance is boundary-clipped (and visible under
+    /// the active policy) — gates the per-occurrence clip scan.
+    has_clipped: bool,
+    /// Owned single-event supports reported by [`ShardWorker::l1`].
+    l1_supports: Vec<usize>,
+    /// Owned `(clipped, discarded)` instance counts from the L1 scan.
+    l1_boundary: (u64, u64),
+    /// Current level's nodes with occurrence bindings (survivors only,
+    /// once the coordinator's verdict is in).
+    level: Vec<WorkNode>,
+    /// The last propose round's candidates with owned statistics.
+    proposals: HashMap<Pattern, OwnedStats>,
+    stats: MiningStats,
+    proposed_total: usize,
+    pruned_total: usize,
+    wall: Duration,
+}
+
+impl<'a> ShardWorker<'a> {
+    fn new(shard: &'a Shard, cfg: &MinerConfig, threads: usize) -> Self {
+        ShardWorker {
+            shard,
+            local_cfg: MinerConfig {
+                sigma: f64::MIN_POSITIVE,
+                delta: f64::MIN_POSITIVE,
+                ..*cfg
+            },
+            boundary: cfg.relation.boundary,
+            threads,
+            index: None,
+            has_clipped: false,
+            l1_supports: Vec::new(),
+            l1_boundary: (0, 0),
+            level: Vec::new(),
+            proposals: HashMap::new(),
+            stats: MiningStats::default(),
+            proposed_total: 0,
+            pruned_total: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Builds the masked index and records the shard's owned single-event
+    /// supports plus owned boundary counts — the L1 half of the exchange,
+    /// and the merge's confidence denominators.
+    fn l1(&mut self) {
+        let index =
+            DatabaseIndex::build_masked(&self.shard.db, self.boundary, Some(&self.shard.owned));
+        let mut clipped = 0u64;
+        for (si, seq) in self.shard.db.sequences().iter().enumerate() {
+            if !self.shard.owned[si] {
+                continue;
+            }
+            clipped += seq.instances().iter().filter(|i| i.is_clipped()).count() as u64;
+        }
+        let discarded = if self.boundary == BoundaryPolicy::Discard {
+            clipped
+        } else {
+            0
+        };
+        // Under Discard the index hides clipped instances, so occurrence
+        // tuples can never contain one and the clip scan is pointless.
+        self.has_clipped = clipped > 0 && self.boundary != BoundaryPolicy::Discard;
+        self.l1_supports = (0..self.shard.db.registry().len())
+            .map(|e| index.support(EventId(e as u32)))
+            .collect();
+        self.l1_boundary = (clipped, discarded);
+        self.index = Some(index);
+    }
+
+    /// Propose round for level 2: enumerates candidate pairs over the
+    /// globally frequent events, support-complete locally, and records
+    /// each resulting pattern with its owned statistics.
+    fn propose_l2(&mut self, freq: &[EventId]) {
+        let index = self.index.as_ref().expect("l1 ran first");
+        // Only locally present events can contribute an occurrence.
+        let local: Vec<EventId> = freq
+            .iter()
+            .copied()
+            .filter(|&e| index.support(e) > 0)
+            .collect();
+        let pairs: Vec<(EventId, EventId)> = local
+            .iter()
+            .flat_map(|&ei| local.iter().map(move |&ej| (ei, ej)))
+            .collect();
+        let engine = L2Engine {
+            db: &self.shard.db,
+            index,
+            cfg: &self.local_cfg,
+            sigma_abs: 1,
+        };
+        // Chunked by index range over the shared pair list (no per-chunk
+        // copies) so the scoped workers amortize their bookkeeping.
+        let starts: Vec<usize> = (0..pairs.len()).step_by(32).collect();
+        let pairs = &pairs;
+        let outputs = par_map(starts, self.threads, |start| {
+            let mut stats = MiningStats::default();
+            stats.nodes_verified.push(0);
+            let mut nodes = Vec::new();
+            for &(ei, ej) in &pairs[start..(start + 32).min(pairs.len())] {
+                if let Some(node) = engine.try_pair(ei, ej, &mut stats) {
+                    nodes.push(node);
+                }
+            }
+            (nodes, stats)
+        });
+        self.stats.nodes_verified.push(0);
+        self.stats.nodes_kept.push(0);
+        self.stats.patterns_found.push(0);
+        self.level.clear();
+        for (nodes, stats) in outputs {
+            merge_stats(&mut self.stats, stats);
+            self.level.extend(nodes);
+        }
+        self.stats.nodes_kept[0] += self.level.len();
+        self.stats.patterns_found[0] +=
+            self.level.iter().map(|n| n.patterns.len()).sum::<usize>();
+        self.collect_proposals();
+    }
+
+    /// Propose round for level `k ≥ 3`: grows the retained survivors by
+    /// one chronologically-last event each, support-complete locally.
+    fn propose_next(&mut self, freq: &[EventId], pair_relations: &PairRelations, k: usize) {
+        let nodes = std::mem::take(&mut self.level);
+        let db = &self.shard.db;
+        let index = self.index.as_ref().expect("l1 ran first");
+        let cfg = &self.local_cfg;
+        let outputs = par_map(nodes, self.threads, |node| {
+            let mut stats = MiningStats::default();
+            while stats.nodes_verified.len() < k - 1 {
+                stats.nodes_verified.push(0);
+                stats.nodes_kept.push(0);
+                stats.patterns_found.push(0);
+            }
+            // The exact same extension loop as the unsharded miner —
+            // local σ_abs = 1 gates only empty joints, and the Lemma 5
+            // table is the *global* one the coordinator broadcast.
+            let children = grow_candidates(
+                db,
+                index,
+                cfg,
+                &mut stats,
+                &node,
+                freq,
+                pair_relations,
+                1,
+                k,
+            );
+            (children, stats)
+        });
+        for (children, stats) in outputs {
+            merge_stats(&mut self.stats, stats);
+            self.level.extend(children);
+        }
+        self.collect_proposals();
+    }
+
+    /// Records the current level's patterns as this round's proposals,
+    /// with owned support (the masked index makes every occurrence an
+    /// owned occurrence, so the pattern's support *is* its owned support)
+    /// and owned clipped-occurrence count.
+    fn collect_proposals(&mut self) {
+        self.proposals.clear();
+        for node in &self.level {
+            for wp in &node.patterns {
+                let clipped = if self.has_clipped {
+                    let seqs = self.shard.db.sequences();
+                    wp.occurrences
+                        .iter()
+                        .filter(|(seq_id, tuple)| {
+                            let insts = seqs[*seq_id as usize].instances();
+                            tuple.iter().any(|&ti| insts[ti as usize].is_clipped())
+                        })
+                        .count()
+                } else {
+                    0
+                };
+                self.proposals
+                    .insert(wp.pattern.clone(), (wp.support, clipped));
+            }
+        }
+        self.proposed_total += self.proposals.len();
+    }
+
+    /// Answers "how often do you see these?" for an arbitrary candidate
+    /// set at the last proposed level: owned `(support, clipped)` per
+    /// candidate, `(0, 0)` for candidates this shard has no owned
+    /// occurrence of. Local propose rounds are support-complete, so a
+    /// candidate absent from the proposals genuinely has owned support 0
+    /// — this is the recount half of the exchange wire protocol.
+    pub(crate) fn recount(&self, candidates: &[Pattern]) -> Vec<OwnedStats> {
+        candidates
+            .iter()
+            .map(|p| self.proposals.get(p).copied().unwrap_or((0, 0)))
+            .collect()
+    }
+
+    /// Applies the coordinator's verdict: drops every pattern (and every
+    /// emptied node) the global gate killed, releasing their occurrence
+    /// bindings before the next round.
+    fn retain(&mut self, survivors: &HashSet<Pattern>) {
+        let before: usize = self.level.iter().map(|n| n.patterns.len()).sum();
+        for node in &mut self.level {
+            node.patterns.retain(|wp| survivors.contains(&wp.pattern));
+        }
+        self.level.retain(|n| !n.patterns.is_empty());
+        let after: usize = self.level.iter().map(|n| n.patterns.len()).sum();
+        self.pruned_total += before - after;
+    }
+}
+
+/// Runs one stage on every worker, shards concurrent up to `outer`
+/// threads, accumulating per-shard wall time.
+fn run_round<'a, F>(workers: &mut [ShardWorker<'a>], outer: usize, f: F)
+where
+    F: Fn(&mut ShardWorker<'a>) + Sync,
+{
+    par_for_each(workers, outer, |_, worker| {
+        let started = Instant::now();
+        f(worker);
+        worker.wall += started.elapsed();
+    });
+}
+
+/// Sums the workers' proposals, applies the global σ/δ gate, folds the
+/// survivors into the merge accumulator, and returns the survivor set.
+fn gate_round(
+    workers: &[ShardWorker<'_>],
+    event_supports: &[usize],
+    sigma_abs: usize,
+    delta: f64,
+    merge: &mut ShardMerge,
+) -> HashSet<Pattern> {
+    let mut sums: HashMap<&Pattern, OwnedStats> = HashMap::new();
+    for worker in workers {
+        for (pattern, (support, clipped)) in &worker.proposals {
+            let entry = sums.entry(pattern).or_insert((0, 0));
+            entry.0 += support;
+            entry.1 += clipped;
+        }
+    }
+    let mut survivors = HashSet::new();
+    for (pattern, (support, clipped)) in sums {
+        if support < sigma_abs {
+            continue;
+        }
+        let max_supp = pattern
+            .events()
+            .iter()
+            .map(|e| event_supports[e.0 as usize])
+            .max()
+            .expect("patterns have events");
+        if (support as f64 / max_supp as f64) + CONF_EPS < delta {
+            continue;
+        }
+        merge.add_pattern(pattern.clone(), support, clipped);
+        survivors.insert(pattern.clone());
+    }
+    survivors
+}
+
+/// Debug cross-check of the exchange protocol: recounting each survivor
+/// against every shard must find its owned support somewhere — i.e. the
+/// propose and recount answers agree as independent calls.
+fn debug_assert_recount(workers: &[ShardWorker<'_>], survivors: &HashSet<Pattern>) {
+    if cfg!(debug_assertions) {
+        for candidate in survivors {
+            let total: usize = workers
+                .iter()
+                .map(|w| w.recount(std::slice::from_ref(candidate))[0].0)
+                .sum();
+            debug_assert!(total > 0, "a survivor must have owned support somewhere");
+        }
+    }
+}
+
+/// Drives the two-phase exchange over a [`ShardPlan`]: concurrent shard
+/// workers, a level-lockstep propose → gate → expand loop, and the final
+/// [`ShardMerge`] confidence/emission pass into `sink`. Returns the
+/// merged run statistics and one [`ShardReport`] per shard.
+pub(crate) fn mine_exchange_internal(
+    plan: &ShardPlan,
+    cfg: &MinerConfig,
+    threads: usize,
+    sink: &mut dyn PatternSink,
+) -> (MiningStats, Vec<ShardReport>) {
+    debug_assert!(
+        plan.maps_are_identity(),
+        "exchange proposals are keyed without id translation: shard databases \
+         must already speak the master registry (ShardPlanner guarantees this; \
+         remote shards with foreign registries need the MergeSink seam)"
+    );
+    let shards = plan.shards();
+    let n_shards = shards.len().max(1);
+    let threads = threads.max(1);
+    // The thread budget splits between shard-level concurrency and
+    // intra-shard workers: up to K concurrent shards, each with its share
+    // of the remaining parallelism (a single shard gets the full budget).
+    let outer = threads.min(n_shards);
+    let inner = (threads / n_shards).max(1);
+    let mut workers: Vec<ShardWorker<'_>> = shards
+        .iter()
+        .map(|shard| ShardWorker::new(shard, cfg, inner))
+        .collect();
+    let mut merge = ShardMerge::new(plan.registry().clone(), plan.n_windows());
+    let sigma_abs = cfg.absolute_support(plan.n_windows());
+    let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
+
+    // ---- Round 1: owned L1 supports and boundary counts ----
+    run_round(&mut workers, outer, |w| w.l1());
+    let mut event_supports = vec![0usize; plan.registry().len()];
+    let (mut clipped_total, mut discarded_total) = (0u64, 0u64);
+    for worker in &workers {
+        for (e, &s) in worker.l1_supports.iter().enumerate() {
+            event_supports[e] += s;
+        }
+        clipped_total += worker.l1_boundary.0;
+        discarded_total += worker.l1_boundary.1;
+    }
+    for (e, &s) in event_supports.iter().enumerate() {
+        merge.add_event_support(EventId(e as u32), s);
+    }
+    merge.set_boundary_counts(clipped_total, discarded_total);
+    let freq: Vec<EventId> = (0..event_supports.len())
+        .filter(|&e| event_supports[e] >= sigma_abs)
+        .map(|e| EventId(e as u32))
+        .collect();
+
+    // ---- Round 2: L2 propose → global gate → retain ----
+    run_round(&mut workers, outer, |w| w.propose_l2(&freq));
+    let mut survivors = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
+    debug_assert_recount(&workers, &survivors);
+    run_round(&mut workers, outer, |w| w.retain(&survivors));
+
+    // The survivors are by construction the globally frequent 2-event
+    // patterns — the transitivity table of Lemmas 4–7, identical to the
+    // one the unsharded miner builds, shared read-only by every shard.
+    let mut pair_relations = PairRelations::new(plan.registry().len());
+    for pattern in &survivors {
+        pair_relations.insert(
+            pattern.events()[0],
+            pattern.relations()[0],
+            pattern.events()[1],
+        );
+    }
+
+    // ---- Rounds 3+: lockstep growth of the surviving candidates ----
+    for k in 3..=max_events {
+        if survivors.is_empty() {
+            break;
+        }
+        run_round(&mut workers, outer, |w| {
+            w.propose_next(&freq, &pair_relations, k);
+        });
+        survivors = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
+        debug_assert_recount(&workers, &survivors);
+        run_round(&mut workers, outer, |w| w.retain(&survivors));
+    }
+
+    // ---- Final pass: merged stats, thresholds (idempotent here — the
+    // gate already applied them), deterministic sorted emission ----
+    let mut reports = Vec::with_capacity(workers.len());
+    for worker in workers {
+        merge.add_stats(worker.stats);
+        reports.push(ShardReport {
+            shard: worker.shard.index,
+            windows_owned: worker.shard.owned.iter().filter(|&&o| o).count(),
+            candidates_proposed: worker.proposed_total,
+            candidates_pruned: worker.pruned_total,
+            wall: worker.wall,
+        });
+    }
+    (merge.finish_into(cfg, sink), reports)
+}

@@ -29,12 +29,37 @@ impl DatabaseIndex {
     /// per-sequence instance lists — as if the split had never emitted
     /// them. The other policies index every instance.
     pub fn build_with_policy(db: &SequenceDatabase, policy: BoundaryPolicy) -> Self {
+        DatabaseIndex::build_masked(db, policy, None)
+    }
+
+    /// Builds the index under a boundary policy, optionally restricted to
+    /// the sequences whose `mask` entry is `true`. Masked-out sequences
+    /// are invisible end to end — no bitmap bits, no supports, no
+    /// instance lists — so every structure a miner derives from the index
+    /// (joint bitmaps, occurrence bindings, pattern supports) covers only
+    /// the masked-in sequences.
+    ///
+    /// This is how a time-range shard mines only the windows it *owns*:
+    /// the overlap-pad windows duplicated from neighbouring shards exist
+    /// in the shard's database (their instances carry the run extents the
+    /// conversion needed), but mining them would be pure waste — every
+    /// pattern statistic they could contribute belongs to the owning
+    /// shard, and pattern growth never crosses a window boundary, so
+    /// hiding them changes no owned count.
+    pub fn build_masked(
+        db: &SequenceDatabase,
+        policy: BoundaryPolicy,
+        mask: Option<&[bool]>,
+    ) -> Self {
         let n_events = db.registry().len();
         let n_seqs = db.len();
         let mut bitmaps = vec![Bitmap::new(n_seqs); n_events];
         let mut instances = vec![vec![Vec::new(); n_events]; n_seqs];
         let discard = policy == BoundaryPolicy::Discard;
         for (si, seq) in db.sequences().iter().enumerate() {
+            if mask.is_some_and(|m| !m[si]) {
+                continue;
+            }
             for (ii, inst) in seq.instances().iter().enumerate() {
                 if discard && inst.is_clipped() {
                     continue;
@@ -60,6 +85,15 @@ impl DatabaseIndex {
     /// `supp(E)` — number of sequences containing the event (Def 3.13).
     pub fn support(&self, event: EventId) -> usize {
         self.supports[event.0 as usize]
+    }
+
+    /// Joint support of two events — the popcount of the AND of their
+    /// bitmaps (Alg. 1, line 8) via the fused, non-allocating
+    /// [`Bitmap::and_count`]. The Apriori gate calls this for every
+    /// candidate pair, pruned or not, so it never pays for the
+    /// intermediate bitmap.
+    pub fn joint_support(&self, a: EventId, b: EventId) -> usize {
+        self.bitmaps[a.0 as usize].and_count(&self.bitmaps[b.0 as usize])
     }
 
     /// Instance indices of `event` within sequence `seq`, ascending.
@@ -115,6 +149,34 @@ mod tests {
         assert_eq!(idx.instances_in(0, EventId(0)), &[0, 2]);
         assert_eq!(idx.instances_in(0, EventId(1)), &[1]);
         assert_eq!(idx.instances_in(1, EventId(0)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn joint_support_matches_bitmap_and() {
+        let db = tiny_db();
+        let idx = DatabaseIndex::build(&db);
+        let (a, b) = (EventId(0), EventId(1));
+        assert_eq!(
+            idx.joint_support(a, b),
+            idx.bitmap(a).and(idx.bitmap(b)).count_ones()
+        );
+        assert_eq!(idx.joint_support(a, b), 1); // both only co-occur in seq 0
+    }
+
+    #[test]
+    fn masked_build_hides_sequences_end_to_end() {
+        let db = tiny_db();
+        // Mask out sequence 0: only B (in sequence 1) remains visible.
+        let idx =
+            DatabaseIndex::build_masked(&db, BoundaryPolicy::Clip, Some(&[false, true]));
+        assert_eq!(idx.support(EventId(0)), 0, "A lived only in masked-out seq 0");
+        assert_eq!(idx.support(EventId(1)), 1);
+        assert!(!idx.bitmap(EventId(1)).get(0));
+        assert!(idx.bitmap(EventId(1)).get(1));
+        assert_eq!(idx.instances_in(0, EventId(0)), &[] as &[u32]);
+        assert_eq!(idx.instances_in(0, EventId(1)), &[] as &[u32]);
+        assert_eq!(idx.instances_in(1, EventId(1)), &[0]);
+        assert_eq!(idx.joint_support(EventId(0), EventId(1)), 0);
     }
 
     #[test]

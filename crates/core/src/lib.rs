@@ -22,7 +22,13 @@
 //!   shard-by-time-range mining: K overlapping time-range slices mined
 //!   independently and merged losslessly through a streaming,
 //!   occurrence-deduplicating sink (`t_ov = t_max`, the Fig 3 lemma one
-//!   level up).
+//!   level up);
+//! * [`mine_sharded_exchange`] / [`ShardPlan::mine_exchange_into`] — the
+//!   two-phase candidate-exchange executor: shards run concurrently and
+//!   propose level-`k` candidates with owned supports, a coordinator
+//!   applies the *global* σ/δ apriori gate between levels, so per-shard
+//!   pruning is restored without giving up exactness ([`ShardReport`]
+//!   exposes per-shard candidate and timing observability).
 //!
 //! # Quickstart
 //!
@@ -48,6 +54,7 @@ mod approx;
 mod candidates;
 mod config;
 mod exact;
+mod executor;
 mod hpg;
 mod index;
 mod merge;
@@ -75,5 +82,8 @@ pub use merge::{MergeSink, ShardMerge};
 pub use pattern::Pattern;
 pub use reference::mine_reference;
 pub use result::{FrequentPattern, MiningResult, MiningStats};
-pub use shard::{mine_sharded, Shard, ShardPlan, ShardPlanner, ShardedMining};
+pub use executor::ShardReport;
+pub use shard::{
+    mine_sharded, mine_sharded_exchange, Shard, ShardPlan, ShardPlanner, ShardedMining,
+};
 pub use sink::{CollectSink, CountingSink, CsvSink, JsonlSink, PatternSink};

@@ -141,6 +141,18 @@ impl ShardMerge {
         self.event_supports[event.0 as usize] += support;
     }
 
+    /// Folds one pattern's owned statistics (already expressed in the
+    /// master registry) into the accumulator — the candidate-exchange
+    /// executor's entry point: its coordinator has already summed owned
+    /// supports across shards, so survivors arrive here with their global
+    /// counts and [`ShardMerge::finish_into`]'s threshold pass is a
+    /// no-op re-check.
+    pub(crate) fn add_pattern(&mut self, pattern: Pattern, support: usize, clipped: usize) {
+        let entry = self.patterns.entry(pattern).or_default();
+        entry.support += support;
+        entry.clipped_occurrences += clipped;
+    }
+
     /// Sums one shard's run counters into the merged work statistics.
     pub fn add_stats(&mut self, stats: MiningStats) {
         merge_stats(&mut self.stats, stats);

@@ -81,7 +81,7 @@ pub(crate) fn mine_parallel_internal(
     }
     let sigma_abs = cfg.absolute_support(db.len());
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
-    let index = DatabaseIndex::build_with_policy(db, cfg.relation.boundary);
+    let index = DatabaseIndex::build_masked(db, cfg.relation.boundary, owned);
 
     // ---- L1 ----
     let freq_events: Vec<EventId> = db
@@ -218,6 +218,70 @@ pub(crate) fn mine_parallel_internal(
         merge_stats(&mut stats, shard_stats);
     }
     stats
+}
+
+/// Runs `f(index, &mut item)` for every item, distributing items over up
+/// to `threads` scoped workers with atomic work stealing (the same
+/// machinery the L3 node queue above uses). With one thread — or one
+/// item — it degrades to a plain loop with no spawn at all. Items are
+/// processed exactly once; completion order is unspecified, but every
+/// call has returned when this function returns.
+///
+/// This is the shard executor's outer loop: each exchange round runs one
+/// stage on every [`crate::executor`] worker concurrently.
+pub(crate) fn par_for_each<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let at = next.fetch_add(1, Ordering::Relaxed);
+                if at >= slots.len() {
+                    break;
+                }
+                let mut item = slots[at].lock().expect("unpoisoned");
+                f(at, &mut item);
+            });
+        }
+    });
+}
+
+/// Maps `f` over `items` with up to `threads` scoped workers, preserving
+/// input order in the output. Built on [`par_for_each`]; single-threaded
+/// calls stay allocation- and spawn-free. Used for the intra-shard
+/// parallelism of the exchange executor's propose stages (L2 pair chunks,
+/// level-k node growth), composing with the shard-level concurrency the
+/// way `--threads` composes with `--shards`.
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<(Option<T>, Option<R>)> =
+        items.into_iter().map(|t| (Some(t), None)).collect();
+    par_for_each(&mut slots, threads, |_, slot| {
+        let item = slot.0.take().expect("each item mapped once");
+        slot.1 = Some(f(item));
+    });
+    slots
+        .into_iter()
+        .map(|(_, r)| r.expect("every slot filled"))
+        .collect()
 }
 
 /// One buffered node emission awaiting the shared-sink lock.

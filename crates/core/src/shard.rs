@@ -24,16 +24,22 @@
 //! conversion's. `Clip` and `Discard` never look past the clipped
 //! interval / clip flags, so they shard losslessly as well.
 //!
-//! # Support-complete per-shard mining
+//! # Support-complete vs candidate-exchange per-shard mining
 //!
 //! A pattern's global support is the sum of its owned supports across
 //! shards, so a shard cannot apply the global σ/δ locally — a pattern
-//! frequent overall may sit below threshold in every single shard. Each
-//! shard therefore mines *support-complete* (absolute support 1, no
-//! confidence gate) and the merge applies the global thresholds to the
-//! summed statistics. That trades per-shard pruning for exactness; the
-//! ROADMAP notes the candidate-exchange scheme that would restore
-//! pruning.
+//! frequent overall may sit below threshold in every single shard. The
+//! *support-complete* path ([`ShardPlan::mine_into`]) has each shard mine
+//! with absolute support 1 and no confidence gate, and the merge applies
+//! the global thresholds to the summed statistics — exact, but with no
+//! per-shard pruning at all. The *candidate-exchange* path
+//! ([`ShardPlan::mine_exchange_into`], see [`crate::executor`]) restores
+//! pruning: shards propose level-`k` candidates with owned supports, a
+//! coordinator applies the global σ/δ gate to the sums, and only the
+//! survivors are grown to level `k + 1` — same exact output, strictly
+//! fewer candidates, and the shards run concurrently.
+
+use std::time::Instant;
 
 use ftpm_events::{
     to_sequence_database, BoundaryPolicy, EventId, EventInstance, EventRegistry,
@@ -42,6 +48,7 @@ use ftpm_events::{
 use ftpm_timeseries::SymbolicDatabase;
 
 use crate::config::MinerConfig;
+use crate::executor::{mine_exchange_internal, ShardReport};
 use crate::merge::ShardMerge;
 use crate::result::{MiningResult, MiningStats};
 use crate::sink::{CollectSink, PatternSink};
@@ -224,15 +231,45 @@ impl ShardPlan {
         self.t_ov
     }
 
+    /// Whether every shard's id map is the identity — true for every
+    /// locally planned run, because [`ShardPlanner::plan`] remaps shard
+    /// databases onto the master registry *before* mining. The exchange
+    /// executor keys proposals without per-shard translation on the
+    /// strength of this invariant (and asserts it in debug builds); a
+    /// future remote shard arriving with a foreign registry must go
+    /// through [`crate::MergeSink`]'s translation seam instead.
+    pub(crate) fn maps_are_identity(&self) -> bool {
+        self.maps
+            .iter()
+            .all(|map| map.iter().enumerate().all(|(i, e)| e.0 as usize == i))
+    }
+
     /// Mines every shard (each with `threads` workers) into a streaming
     /// [`ShardMerge`], then emits the merged, globally-thresholded output
     /// into `sink`. Returns the merged run statistics.
+    ///
+    /// This is the support-complete path: shards run sequentially and
+    /// without any per-shard pruning. Prefer
+    /// [`ShardPlan::mine_exchange_into`] unless cross-validating it.
     pub fn mine_into(
         &self,
         cfg: &MinerConfig,
         threads: usize,
         sink: &mut dyn PatternSink,
     ) -> MiningStats {
+        self.mine_into_reported(cfg, threads, sink).0
+    }
+
+    /// [`ShardPlan::mine_into`] plus one [`ShardReport`] per shard
+    /// (candidates generated, wall time; `candidates_pruned` is always 0
+    /// here — the support-complete path defers all filtering to the
+    /// merge).
+    pub fn mine_into_reported(
+        &self,
+        cfg: &MinerConfig,
+        threads: usize,
+        sink: &mut dyn PatternSink,
+    ) -> (MiningStats, Vec<ShardReport>) {
         // Support-complete shard mining: absolute support 1, no local
         // confidence gate — only the merge can apply the global σ/δ.
         let shard_cfg = MinerConfig {
@@ -241,9 +278,12 @@ impl ShardPlan {
             ..*cfg
         };
         let mut merge = ShardMerge::new(self.registry.clone(), self.n_windows);
+        let mut reports = Vec::with_capacity(self.shards.len());
         let mut clipped = 0u64;
         let mut discarded = 0u64;
         for (shard, map) in self.shards.iter().zip(&self.maps) {
+            let started = Instant::now();
+            let candidates_proposed;
             {
                 let mut merge_sink = merge.sink(map);
                 let stats = if threads > 1 {
@@ -263,6 +303,7 @@ impl ShardPlan {
                         &mut merge_sink,
                     )
                 };
+                candidates_proposed = stats.patterns_found.iter().sum();
                 merge.add_stats(stats);
             }
             // Owned single-event supports and boundary counts, under the
@@ -289,9 +330,16 @@ impl ShardPlan {
                     }
                 }
             }
+            reports.push(ShardReport {
+                shard: shard.index,
+                windows_owned: shard.owned.iter().filter(|&&o| o).count(),
+                candidates_proposed,
+                candidates_pruned: 0,
+                wall: started.elapsed(),
+            });
         }
         merge.set_boundary_counts(clipped, discarded);
-        merge.finish_into(cfg, sink)
+        (merge.finish_into(cfg, sink), reports)
     }
 
     /// Like [`ShardPlan::mine_into`], collecting into a [`MiningResult`]
@@ -300,6 +348,37 @@ impl ShardPlan {
         let mut sink = CollectSink::new();
         let stats = self.mine_into(cfg, threads, &mut sink);
         sink.into_result(stats)
+    }
+
+    /// Mines the plan through the two-phase candidate-exchange executor
+    /// (see [`crate::executor`]): shards run *concurrently*, propose
+    /// level-`k` candidates with owned supports, and only candidates
+    /// passing the global σ/δ gate are grown to level `k + 1`. The
+    /// merged output is identical to [`ShardPlan::mine_into`] and to the
+    /// unsharded [`crate::mine_exact`]; per-shard candidate and timing
+    /// observability comes back as [`ShardReport`]s.
+    ///
+    /// `threads` is the total worker budget, split between concurrent
+    /// shards and intra-shard parallelism.
+    pub fn mine_exchange_into(
+        &self,
+        cfg: &MinerConfig,
+        threads: usize,
+        sink: &mut dyn PatternSink,
+    ) -> (MiningStats, Vec<ShardReport>) {
+        mine_exchange_internal(self, cfg, threads, sink)
+    }
+
+    /// Like [`ShardPlan::mine_exchange_into`], collecting into a
+    /// [`MiningResult`] (expressed in [`ShardPlan::registry`]).
+    pub fn mine_exchange(
+        &self,
+        cfg: &MinerConfig,
+        threads: usize,
+    ) -> (MiningResult, Vec<ShardReport>) {
+        let mut sink = CollectSink::new();
+        let (stats, reports) = self.mine_exchange_into(cfg, threads, &mut sink);
+        (sink.into_result(stats), reports)
     }
 }
 
@@ -342,4 +421,30 @@ pub fn mine_sharded(
         shards: n_shards,
         t_ov: plan.t_ov,
     })
+}
+
+/// One-call sharded mining through the two-phase candidate-exchange
+/// executor (concurrent shards, global apriori gate between levels —
+/// see [`crate::executor`]). Output equals [`mine_sharded`] and the
+/// unsharded [`crate::mine_exact`] exactly; the [`ShardReport`]s expose
+/// how many candidates each shard proposed and how many the gate pruned.
+pub fn mine_sharded_exchange(
+    syb: &SymbolicDatabase,
+    split: SplitConfig,
+    cfg: &MinerConfig,
+    shards: usize,
+    threads: usize,
+) -> Result<(ShardedMining, Vec<ShardReport>), String> {
+    let plan = ShardPlanner::new(shards).plan(syb, split, cfg.relation.t_max)?;
+    let (result, reports) = plan.mine_exchange(cfg, threads);
+    let n_shards = plan.shards.len();
+    Ok((
+        ShardedMining {
+            result,
+            registry: plan.registry,
+            shards: n_shards,
+            t_ov: plan.t_ov,
+        },
+        reports,
+    ))
 }

@@ -8,7 +8,9 @@
 //! ftpm mine  --demo city --approx-density 0.6 --sigma 0.3 --delta 0.3
 //! ftpm mine  --demo nist --sort support --top 20
 //! ftpm mine  --demo nist --scale 0.01 --boundary true-extent --t-max 180 \
-//!            --shards 4 --shard-by time --json
+//!            --shards 4 --shard-by time --json            # candidate exchange
+//! ftpm mine  --demo nist --scale 0.01 --boundary true-extent --t-max 180 \
+//!            --shards 4 --no-exchange                     # support-complete
 //! ftpm graph --demo nist --scale 0.02 --mu 0.4
 //! ```
 //!
@@ -53,6 +55,7 @@ USAGE:
              [--threshold F | --states N] [--scale F]
              [--mu F | --approx-density F] [--max-events N]
              [--threads N] [--shards K] [--shard-by time]
+             [--exchange | --no-exchange]
              [--output FILE.{{csv,jsonl}}] [--stream]
              [--sort support|confidence] [--top N] [--json]
   ftpm graph [--input FILE.csv | --demo ...] [--mu F] [--scale F]
@@ -80,10 +83,16 @@ OPTIONS:
   --shards K         shard-by-time-range mining: cut the data into K
                      time-range shards overlapping by t_max, mine each
                      independently, merge losslessly (exact miner only;
-                     output equals the unsharded run). Shards mine
-                     support-complete so the merge stays exact — keep
-                     --max-events low on wide alphabets    [default 1]
+                     output equals the unsharded run)      [default 1]
   --shard-by KEY     sharding axis; only \"time\" is implemented
+  --exchange         two-phase candidate exchange (default with --shards):
+                     shards run concurrently, propose level-k candidates
+                     with owned supports, and the global sigma/delta gate
+                     prunes losers before the next level — same output,
+                     strictly fewer candidates per shard
+  --no-exchange      keep the support-complete path (no per-shard pruning,
+                     sequential shards) for cross-validation; keep
+                     --max-events low on wide alphabets
   --output FILE      export patterns (.csv or .jsonl, by extension)
   --stream           stream patterns straight to --output while mining
                      (constant memory; exact miner only, no sort/top)
@@ -114,6 +123,9 @@ struct Options {
     max_events: usize,
     threads: usize,
     shards: usize,
+    /// `--exchange` / `--no-exchange` as given; `None` means "default":
+    /// candidate exchange whenever `--shards` > 1.
+    exchange: Option<bool>,
     output: Option<String>,
     stream: bool,
     sort: Option<PatternSort>,
@@ -148,6 +160,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         max_events: 5,
         threads: default_threads(),
         shards: 1,
+        exchange: None,
         output: None,
         stream: false,
         sort: None,
@@ -198,6 +211,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--exchange" => opt.exchange = Some(true),
+            "--no-exchange" => opt.exchange = Some(false),
             "--shard-by" => {
                 let axis = value("--shard-by")?;
                 if axis != "time" {
@@ -242,6 +257,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if opt.shards > 1 && (opt.mu.is_some() || opt.density.is_some()) {
         return Err("--shards supports the exact miner only; drop --mu/--approx-density".into());
+    }
+    // A silent no-op would read as "exchange ran": candidate exchange is
+    // a property of sharded runs, so asking for it without shards is a
+    // usage error, not something to ignore.
+    if opt.exchange == Some(true) && opt.shards <= 1 {
+        return Err(
+            "--exchange needs --shards K (K > 1): candidate exchange coordinates \
+             per-shard mining rounds, so there is nothing to exchange unsharded"
+                .into(),
+        );
     }
     // The shard slices overlap by t_ov = t_max; with t_max unconstrained
     // every slice degrades to the whole series and the run silently does
@@ -361,26 +386,70 @@ fn write_patterns(
 }
 
 /// Streams the mining run straight into `--output`; returns the number
-/// of patterns written and the run statistics. With a shard plan, each
-/// shard's miner streams through the deduplicating merge into the same
-/// writer sink — the full pattern set is still never materialized.
+/// of patterns written, the run statistics and (for sharded runs) the
+/// per-shard reports. With a shard plan, each shard's miner streams
+/// through the deduplicating merge into the same writer sink — the full
+/// pattern set is still never materialized.
 fn mine_streaming(
     seq: &SequenceDatabase,
     cfg: &MinerConfig,
     threads: usize,
     shard_plan: Option<&ShardPlan>,
+    exchange: bool,
     path: &str,
-) -> Result<(u64, MiningStats), String> {
+) -> Result<(u64, MiningStats, Vec<ShardReport>), String> {
     let mut stats = MiningStats::default();
+    let mut reports = Vec::new();
     let registry = shard_plan.map_or(seq.registry(), |p| p.registry());
     let written = write_patterns(path, registry, &mut |sink| {
-        stats = match shard_plan {
-            Some(plan) => plan.mine_into(cfg, threads, sink),
-            None if threads > 1 => mine_exact_parallel_with_sink(seq, cfg, threads, sink),
-            None => mine_exact_with_sink(seq, cfg, sink),
+        (stats, reports) = match shard_plan {
+            Some(plan) if exchange => plan.mine_exchange_into(cfg, threads, sink),
+            Some(plan) => plan.mine_into_reported(cfg, threads, sink),
+            None if threads > 1 => {
+                (mine_exact_parallel_with_sink(seq, cfg, threads, sink), Vec::new())
+            }
+            None => (mine_exact_with_sink(seq, cfg, sink), Vec::new()),
         };
     })?;
-    Ok((written, stats))
+    Ok((written, stats, reports))
+}
+
+/// Renders the per-shard observability rows for `--json`: owned window
+/// counts, candidates proposed, candidates pruned by the global exchange
+/// gate, and per-shard wall time.
+fn shard_reports_json(reports: &[ShardReport]) -> serde_json::Value {
+    serde_json::Value::from(
+        reports
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "shard": r.shard,
+                    "windows_owned": r.windows_owned,
+                    "candidates_proposed": r.candidates_proposed,
+                    "candidates_pruned": r.candidates_pruned,
+                    "wall_ms": r.wall.as_millis() as u64,
+                })
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Human-readable counterpart of [`shard_reports_json`], one line per
+/// shard.
+fn write_shard_reports(
+    out: &mut impl std::io::Write,
+    reports: &[ShardReport],
+) -> Result<(), String> {
+    for r in reports {
+        writeln!(
+            out,
+            "  shard {}: {} windows owned, {} candidates proposed, {} pruned by the \
+             global gate, {:.1?}",
+            r.shard, r.windows_owned, r.candidates_proposed, r.candidates_pruned, r.wall,
+        )
+        .map_err(|e| format!("stdout: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Writes an already-mined result through the same sink machinery as the
@@ -454,20 +523,24 @@ fn try_mine(args: &[String]) -> Result<(), String> {
         None
     };
     let shards = shard_plan.as_ref().map_or(1, |p| p.shards().len());
+    // Candidate exchange is the default sharded executor; --no-exchange
+    // keeps the support-complete PR 4 path for cross-validation.
+    let exchange = shard_plan.is_some() && opt.exchange.unwrap_or(true);
 
     let started = std::time::Instant::now();
     if opt.stream {
         let path = opt.output.as_ref().expect("validated in parse");
-        let (written, stats) =
-            mine_streaming(&seq, &cfg, threads, shard_plan.as_ref(), path)?;
+        let (written, stats, reports) =
+            mine_streaming(&seq, &cfg, threads, shard_plan.as_ref(), exchange, path)?;
         let elapsed = started.elapsed();
         if opt.json {
-            let payload = serde_json::json!({
+            let mut payload = serde_json::json!({
                 "miner": "E-HTPGM",
                 "sequences": seq.len(),
                 "distinct_events": seq.registry().len(),
                 "threads": threads,
                 "shards": shards,
+                "exchange": exchange,
                 "boundary": opt.boundary.as_str(),
                 "clipped_instances": stats.clipped_instances,
                 "discarded_instances": stats.discarded_instances,
@@ -476,30 +549,49 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 "output": path.as_str(),
                 "streamed": true,
             });
+            if let (false, serde_json::Value::Object(entries)) = (reports.is_empty(), &mut payload)
+            {
+                entries.push(("shard_reports".to_string(), shard_reports_json(&reports)));
+            }
             print_json(&payload)?;
         } else {
             let stdout = std::io::stdout();
+            let mut out = stdout.lock();
             writeln!(
-                stdout.lock(),
+                out,
                 "E-HTPGM: {} sequences, {} distinct events ({} boundary-clipped \
                  instances, boundary={}), {written} patterns streamed to {path} \
-                 in {elapsed:.1?} ({threads} threads, {shards} shards)",
+                 in {elapsed:.1?} ({threads} threads, {shards} shards{})",
                 seq.len(),
                 seq.registry().len(),
                 stats.clipped_instances,
                 opt.boundary,
+                if exchange { ", candidate exchange" } else { "" },
             )
             .map_err(|e| format!("stdout: {e}"))?;
+            write_shard_reports(&mut out, &reports)?;
         }
         return Ok(());
     }
 
+    let mut shard_reports: Vec<ShardReport> = Vec::new();
     let (result, label) = if let Some(mu) = opt.mu {
         (mine_approximate(&syb, &seq, mu, &cfg).result, format!("A-HTPGM(mu={mu})"))
     } else if let Some(plan) = &shard_plan {
+        let mut sink = CollectSink::new();
+        let (stats, reports) = if exchange {
+            plan.mine_exchange_into(&cfg, threads, &mut sink)
+        } else {
+            plan.mine_into_reported(&cfg, threads, &mut sink)
+        };
+        shard_reports = reports;
         (
-            plan.mine(&cfg, threads),
-            format!("E-HTPGM[{} shards]", plan.shards().len()),
+            sink.into_result(stats),
+            format!(
+                "E-HTPGM[{} shards{}]",
+                plan.shards().len(),
+                if exchange { ", exchange" } else { "" }
+            ),
         )
     } else if let Some(d) = opt.density {
         (
@@ -533,6 +625,7 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             "distinct_events": seq.registry().len(),
             "threads": threads,
             "shards": shards,
+            "exchange": exchange,
             "boundary": opt.boundary.as_str(),
             "clipped_instances": result.stats.clipped_instances,
             "discarded_instances": result.stats.discarded_instances,
@@ -546,8 +639,16 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 "clipped_occurrences": p.clipped_occurrences,
             })).collect::<Vec<_>>(),
         });
-        if let (Some((path, _)), serde_json::Value::Object(entries)) = (&exported, &mut payload) {
-            entries.push(("output".to_string(), serde_json::Value::from(*path)));
+        if let serde_json::Value::Object(entries) = &mut payload {
+            if !shard_reports.is_empty() {
+                entries.push((
+                    "shard_reports".to_string(),
+                    shard_reports_json(&shard_reports),
+                ));
+            }
+            if let Some((path, _)) = &exported {
+                entries.push(("output".to_string(), serde_json::Value::from(*path)));
+            }
         }
         print_json(&payload)?;
     } else {
@@ -576,6 +677,7 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             )
             .map_err(io_err)?;
         }
+        write_shard_reports(&mut out, &shard_reports)?;
         for fp in &selection {
             writeln!(
                 out,

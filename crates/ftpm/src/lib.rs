@@ -50,10 +50,10 @@ pub use ftpm_core::{
     top_k_by_lift, mine_approximate, mine_approximate_event_level,
     mine_approximate_with_density, mine_exact, mine_exact_parallel,
     mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference, mine_sharded,
-    ApproxOutcome, CollectSink, CountingSink, CsvSink, DatabaseIndex, FrequentPattern,
-    HierarchicalPatternGraph, JsonlSink, MergeSink, MinerConfig, MiningResult, MiningStats,
-    Pattern, PatternSink, PatternSort, PruningConfig, Shard, ShardMerge, ShardPlan,
-    ShardPlanner, ShardedMining,
+    mine_sharded_exchange, ApproxOutcome, CollectSink, CountingSink, CsvSink, DatabaseIndex,
+    FrequentPattern, HierarchicalPatternGraph, JsonlSink, MergeSink, MinerConfig, MiningResult,
+    MiningStats, Pattern, PatternSink, PatternSort, PruningConfig, Shard, ShardMerge, ShardPlan,
+    ShardPlanner, ShardReport, ShardedMining,
 };
 pub use ftpm_datagen::{
     dataport_like, generate_city, generate_energy, nist_like, random_sequence_database,
