@@ -1,0 +1,200 @@
+//! # ftpm-analyzer — workspace invariant linter
+//!
+//! A project-specific static-analysis pass for the ftpm workspace. The
+//! miner's headline guarantee (exchange == support-complete == unsharded,
+//! bit-for-bit) rests on conventions rustc cannot check; this crate
+//! enforces them as errors. See [`rules`] for the rule set (R1–R5) and
+//! the `// lint: allow(rule, reason)` suppression grammar.
+//!
+//! Run it as `cargo run -p ftpm-analyzer` (or `ftpm lint`); add
+//! `--json PATH` to emit the machine-readable `LINT_report.json` the CI
+//! `analyze` job archives.
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{AllowRecord, Report, Violation};
+pub use rules::{check_source, FileContext};
+
+use std::path::{Path, PathBuf};
+
+/// Per-crate `#![forbid(unsafe_code)]` requirements: every crate root
+/// must carry the attribute. `bench` is the one exception — its
+/// allocation-tracking harness needs a `GlobalAlloc` impl, so its root
+/// carries `#![deny(unsafe_code)]` with a module-scoped allow instead.
+fn required_unsafe_attr(crate_name: &str) -> &'static str {
+    if crate_name == "bench" {
+        "deny"
+    } else {
+        "forbid"
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for a
+/// deterministic report.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// True if the crate-root source opts out of unsafe code at the required
+/// level. Token-level check: `#![<level>(unsafe_code)]`.
+fn has_unsafe_attr(src: &str, level: &str) -> bool {
+    let lexed = lexer::lex(src);
+    (0..lexed.tokens.len()).any(|i| {
+        lexed.is_punct(src, i, "#")
+            && lexed.is_punct(src, i + 1, "!")
+            && lexed.is_punct(src, i + 2, "[")
+            && lexed.is_ident(src, i + 3, level)
+            && lexed.is_punct(src, i + 4, "(")
+            && lexed.is_ident(src, i + 5, "unsafe_code")
+            && lexed.is_punct(src, i + 6, ")")
+            && lexed.is_punct(src, i + 7, "]")
+    })
+}
+
+/// Lints every source file under `<root>/crates`, returning the full
+/// report. `root` must be the workspace root (the directory holding the
+/// top-level `Cargo.toml`).
+pub fn analyze_workspace(root: &Path) -> Report {
+    let mut report = Report {
+        root: root.display().to_string(),
+        ..Report::default()
+    };
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    rs_files(&crates_dir, &mut files);
+
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            report.violations.push(Violation {
+                rule: "io".into(),
+                file: path.display().to_string(),
+                line: 0,
+                message: "file exists but could not be read as UTF-8".into(),
+            });
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let ctx = FileContext::classify(&rel);
+        report.files_scanned += 1;
+
+        // R1–R5 over the file body.
+        report.violations.extend(check_source(&src, &ctx));
+
+        // Audit trail: record every allow marker with its reason.
+        let lexed = lexer::lex(&src);
+        let mut marker_errs = Vec::new();
+        for a in rules::collect_allows(&lexed, &ctx, &mut marker_errs) {
+            report.allows.push(AllowRecord {
+                rule: a.rule,
+                file: rel.clone(),
+                line: a.line,
+                reason: a.reason,
+            });
+        }
+
+        // R4b: crate roots must opt out of unsafe code. A crate root is
+        // src/lib.rs, src/main.rs, or a src/bin/*.rs target.
+        let is_root = rel.ends_with("/src/lib.rs")
+            || rel.ends_with("/src/main.rs")
+            || (rel.contains("/src/bin/") && rel.ends_with(".rs"));
+        if is_root {
+            let level = required_unsafe_attr(&ctx.crate_name);
+            if !has_unsafe_attr(&src, level) {
+                report.violations.push(Violation {
+                    rule: "R4/unsafe_attr".into(),
+                    file: rel.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate root missing `#![{level}(unsafe_code)]` (every crate \
+                         opts out of unsafe; `bench` uses `deny` with a module-scoped \
+                         allow on alloc_track)"
+                    ),
+                });
+            }
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report
+        .allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_attr_detection() {
+        assert!(has_unsafe_attr("#![forbid(unsafe_code)]\npub fn f() {}", "forbid"));
+        assert!(has_unsafe_attr(
+            "//! docs first\n#![forbid(unsafe_code)]",
+            "forbid"
+        ));
+        assert!(!has_unsafe_attr("#![forbid(unsafe_code)]", "deny"));
+        assert!(!has_unsafe_attr("pub fn f() {}", "forbid"));
+        // An outer attribute on an item is not a crate-level opt-out.
+        assert!(!has_unsafe_attr("#[forbid(unsafe_code)]\nmod m {}", "forbid"));
+    }
+
+    /// The linter must be clean on its own workspace — the same check
+    /// `cargo run -p ftpm-analyzer` performs, wired into `cargo test` so
+    /// a violation fails fast without the separate binary run.
+    #[test]
+    fn workspace_is_lint_clean() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above CARGO_MANIFEST_DIR");
+        let report = analyze_workspace(&root);
+        assert!(report.files_scanned > 20, "walker found the crates");
+        let rendered: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule, v.message))
+            .collect();
+        assert!(
+            report.violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            rendered.join("\n")
+        );
+    }
+}

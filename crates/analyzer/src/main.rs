@@ -1,0 +1,95 @@
+//! CLI entry point: `cargo run -p ftpm-analyzer [-- --root DIR --json PATH]`.
+//!
+//! Exit code 0 when the workspace is clean, 1 when any violation is
+//! found, 2 on usage errors. Also reachable as `ftpm lint`.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ftpm_analyzer_cli(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("ftpm-analyzer: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses args, runs the pass, prints the human summary, optionally
+/// writes the JSON report. Returns `Ok(true)` when clean.
+fn ftpm_analyzer_cli(args: &[String]) -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory")?,
+                ))
+            }
+            "--json" => {
+                json = Some(PathBuf::from(
+                    it.next().ok_or("--json requires a file path")?,
+                ))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "ftpm-analyzer: workspace invariant linter\n\n\
+                     USAGE: ftpm-analyzer [--root DIR] [--json PATH]\n\n\
+                     Enforces the project rules R1-R5 over every crate:\n  \
+                     R1 and_count        no `.and(..).count_ones()` outside bitmap\n  \
+                     R2 panic            no panics in library code of core/events/bitmap/baselines/mi\n  \
+                     R3 boundary_match   BoundaryPolicy matches name every variant\n  \
+                     R4 unsafe           unsafe confined to bench/src/alloc_track.rs\n  \
+                     R5 write_discard    sink write results must not be discarded\n\n\
+                     Suppress a finding with `// lint: allow(rule, reason)` on the\n\
+                     same line or the line above. Exit code 1 on any violation."
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            ftpm_analyzer::find_workspace_root(&cwd)
+                .ok_or("no workspace Cargo.toml above the current directory; pass --root")?
+        }
+    };
+
+    let report = ftpm_analyzer::analyze_workspace(&root);
+    for v in &report.violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    println!(
+        "ftpm-analyzer: {} files scanned, {} violations, {} allow markers",
+        report.files_scanned,
+        report.violations.len(),
+        report.allows.len()
+    );
+    if let Some(path) = json {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("ftpm-analyzer: report written to {}", path.display());
+    }
+    Ok(report.violations.is_empty())
+}

@@ -1,0 +1,139 @@
+//! Machine-readable lint report — hand-rolled JSON, same offline spirit
+//! as the lexer (the analyzer must not pull the vendored serde shim into
+//! a second build graph).
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id, e.g. `R2/panic`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// One `// lint: allow(rule, reason)` marker, recorded so the report
+/// doubles as an audit trail of every suppressed site.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The full result of one workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace root the paths are relative to.
+    pub root: String,
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub allows: Vec<AllowRecord>,
+}
+
+impl Report {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        // Writes into a String are infallible (fmt::Write).
+        // lint: allow(write_discard, fmt::Write to String is infallible)
+        let _ = writeln!(s, "{{\n  \"tool\": \"ftpm-analyzer\",");
+        // lint: allow(write_discard, fmt::Write to String is infallible)
+        let _ = writeln!(s, "  \"root\": {},", json_str(&self.root));
+        // lint: allow(write_discard, fmt::Write to String is infallible)
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        // lint: allow(write_discard, fmt::Write to String is infallible)
+        let _ = writeln!(s, "  \"violation_count\": {},", self.violations.len());
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            // lint: allow(write_discard, fmt::Write to String is infallible)
+            let _ = write!(
+                s,
+                "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            // lint: allow(write_discard, fmt::Write to String is infallible)
+            let _ = write!(
+                s,
+                "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason)
+            );
+        }
+        if !self.allows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                // lint: allow(write_discard, fmt::Write to String is infallible)
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report {
+            root: "/tmp/ws".into(),
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.violations.push(Violation {
+            rule: "R2/panic".into(),
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: "a \"quoted\"\nmessage".into(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"violation_count\": 1"));
+        assert!(j.contains("\\\"quoted\\\"\\nmessage"));
+        assert!(j.contains("\"files_scanned\": 2"));
+        // Empty arrays stay well-formed.
+        let empty = Report::default().to_json();
+        assert!(empty.contains("\"violations\": []"));
+        assert!(empty.contains("\"allows\": []"));
+    }
+}

@@ -48,6 +48,7 @@ pub(crate) fn max_event_support(
         .iter()
         .map(|e| supports.get(e).copied().unwrap_or(0))
         .max()
+        // lint: allow(panic, structural invariant: patterns always hold at least one event)
         .expect("patterns have events")
 }
 
@@ -83,9 +84,11 @@ fn backtrack_from(
     // index order, so the scan can skip everything up to the last bound
     // position; only TrueExtent (extent order can disagree with index
     // order) must rescan from the start and rely on the key gate alone.
-    let start = match (cfg.relation.boundary, binding.last()) {
-        (ftpm_events::BoundaryPolicy::TrueExtent, _) | (_, None) => 0,
-        (_, Some(&last)) => last + 1,
+    let start = match cfg.relation.boundary {
+        ftpm_events::BoundaryPolicy::TrueExtent => 0,
+        ftpm_events::BoundaryPolicy::Clip | ftpm_events::BoundaryPolicy::Discard => {
+            binding.last().map_or(0, |&last| last + 1)
+        }
     };
     let want = pattern.events()[pos];
     for (i, x) in insts.iter().enumerate().skip(start) {
@@ -103,6 +106,7 @@ fn backtrack_from(
         // Bound instances passed the policy when they were pushed.
         let bound_iv = |b: usize| {
             rel.effective_interval(&insts[b])
+                // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                 .expect("bound instances pass the boundary policy")
         };
         // Duration constraint: the whole occurrence fits in t_max.
@@ -112,6 +116,7 @@ fn backtrack_from(
                 .iter()
                 .map(|&b| bound_iv(b).end)
                 .max()
+                // lint: allow(panic, structural invariant: the binding is non-empty on this path)
                 .expect("non-empty")
                 .max(x_iv.end);
             if !rel.within_t_max(first_start, max_end) {
@@ -204,11 +209,13 @@ pub(crate) fn relation_column(
     let rel = &cfg.relation;
     let x_iv = rel
         .effective_interval(&insts[x])
+        // lint: allow(panic, structural invariant: candidates passed the boundary policy on entry)
         .expect("candidate instances pass the boundary policy");
     let mut rels = Vec::with_capacity(binding.len());
     for &b in binding {
         let b_iv = rel
             .effective_interval(&insts[b as usize])
+            // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
             .expect("bound instances pass the boundary policy");
         rels.push(rel.relate(&b_iv, &x_iv)?);
     }

@@ -136,7 +136,9 @@ fn merge_pair(
                     for &y in ib {
                         let (fx, fy) = (&insts[x as usize], &insts[y as usize]);
                         // ID-list members passed the boundary policy.
+                        // lint: allow(panic, structural invariant: id-list members passed the boundary policy)
                         let fx_iv = rel.effective_interval(fx).expect("in id-list");
+                        // lint: allow(panic, structural invariant: id-list members passed the boundary policy)
                         let fy_iv = rel.effective_interval(fy).expect("in id-list");
                         if rel.effective_key(fx) >= rel.effective_key(fy) {
                             continue; // the opposite order is the pair (b, a)
@@ -191,17 +193,21 @@ fn merge_extend(
         // Bound and candidate instances all passed the boundary policy.
         let bound_iv = |b: u32| {
             rel.effective_interval(&insts[b as usize])
+                // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                 .expect("bound instances pass the boundary policy")
         };
+        // lint: allow(panic, structural invariant: the binding is non-empty on this path)
         let last_key = rel.effective_key(&insts[*binding.last().expect("non-empty") as usize]);
         let first_start = bound_iv(binding[0]).start;
         let max_end = binding
             .iter()
             .map(|&b| bound_iv(b).end)
             .max()
+            // lint: allow(panic, structural invariant: the binding is non-empty on this path)
             .expect("non-empty");
         for &xi in *candidates {
             let x = &insts[xi as usize];
+            // lint: allow(panic, structural invariant: id-list members passed the boundary policy)
             let x_iv = rel.effective_interval(x).expect("in id-list");
             if rel.effective_key(x) <= last_key {
                 continue;

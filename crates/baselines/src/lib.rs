@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The three state-of-the-art baselines the paper compares against
 //! (Section VI-A3). All three return exactly the same pattern set as
 //! [`ftpm_core::mine_exact`] — asserted by this crate's equivalence tests

@@ -127,18 +127,22 @@ fn grow(
             // policy when they entered the endpoint view.
             let bound_iv = |b: u32| {
                 rel.effective_interval(&insts[b as usize])
+                    // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                     .expect("bound instances pass the boundary policy")
             };
+            // lint: allow(panic, structural invariant: the binding is non-empty on this path)
             let last_key = rel.effective_key(&insts[*binding.last().expect("non-empty") as usize]);
             let first_start = bound_iv(binding[0]).start;
             let max_end = binding
                 .iter()
                 .map(|&b| bound_iv(b).end)
                 .max()
+                // lint: allow(panic, structural invariant: the binding is non-empty on this path)
                 .expect("non-empty");
             for &xi in endpoints.instances_of(*si, ek) {
                 let xi = xi as usize;
                 let x = &insts[xi];
+                // lint: allow(panic, structural invariant: endpoint-view members passed the boundary policy)
                 let x_iv = rel.effective_interval(x).expect("in endpoint view");
                 if rel.effective_key(x) <= last_key {
                     continue;

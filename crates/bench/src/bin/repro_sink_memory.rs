@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Peak-memory comparison of the pattern output paths (collect vs count
 //! vs stream) — the sink-architecture extension of the paper's Table
 //! VIII. Args: `[scale] [max_events]`.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fixed-universe bitmaps used by HTPGM to index which sequences of the
 //! temporal sequence database contain an event or pattern.
 //!
@@ -67,6 +68,7 @@ impl Bitmap {
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize) {
+        // lint: allow(panic, documented # Panics contract: bit index within universe)
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         self.words[i / 64] |= 1u64 << (i % 64);
     }
@@ -77,6 +79,7 @@ impl Bitmap {
     ///
     /// Panics if `i >= len`.
     pub fn clear(&mut self, i: usize) {
+        // lint: allow(panic, documented # Panics contract: bit index within universe)
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         self.words[i / 64] &= !(1u64 << (i % 64));
     }
@@ -87,6 +90,7 @@ impl Bitmap {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
+        // lint: allow(panic, documented # Panics contract: bit index within universe)
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         self.words[i / 64] & (1u64 << (i % 64)) != 0
     }
@@ -108,6 +112,7 @@ impl Bitmap {
     ///
     /// Panics if the universes differ.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
+        // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
         Bitmap {
             words: self
@@ -140,6 +145,7 @@ impl Bitmap {
     /// assert_eq!(a.and_count(&b), a.and(&b).count_ones());
     /// ```
     pub fn and_count(&self, other: &Bitmap) -> usize {
+        // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
         self.words
             .iter()
@@ -154,6 +160,7 @@ impl Bitmap {
     ///
     /// Panics if the universes differ.
     pub fn and_assign(&mut self, other: &Bitmap) {
+        // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
@@ -166,6 +173,7 @@ impl Bitmap {
     ///
     /// Panics if the universes differ.
     pub fn or(&self, other: &Bitmap) -> Bitmap {
+        // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
         Bitmap {
             words: self
@@ -184,6 +192,7 @@ impl Bitmap {
     ///
     /// Panics if the universes differ.
     pub fn or_assign(&mut self, other: &Bitmap) {
+        // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;

@@ -107,7 +107,7 @@ pub(crate) fn record_boundary_stats(
     stats.clipped_instances = clipped;
     stats.discarded_instances = match cfg.relation.boundary {
         ftpm_events::BoundaryPolicy::Discard => clipped,
-        _ => 0,
+        ftpm_events::BoundaryPolicy::Clip | ftpm_events::BoundaryPolicy::TrueExtent => 0,
     };
 }
 
@@ -257,15 +257,18 @@ pub(crate) fn extend_node(
             // occurrence was built, so their effective interval exists.
             let bound_iv = |ti: u32| {
                 rel.effective_interval(&seq.instances()[ti as usize])
+                    // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                     .expect("bound instances pass the boundary policy")
             };
             let last_key =
+                // lint: allow(panic, structural invariant: the binding is non-empty on this path)
                 rel.effective_key(&seq.instances()[*tuple.last().expect("non-empty") as usize]);
             let first_start = bound_iv(tuple[0]).start;
             let tuple_max_end = tuple
                 .iter()
                 .map(|&ti| bound_iv(ti).end)
                 .max()
+                // lint: allow(panic, structural invariant: the binding is non-empty on this path)
                 .expect("non-empty");
             for &xi in index.instances_in(*seq_id as usize, ek) {
                 let x = &seq.instances()[xi as usize];
@@ -391,6 +394,7 @@ pub(crate) fn grow_candidates(
             .iter()
             .map(|&e| index.support(e))
             .max()
+            // lint: allow(panic, structural invariant: HPG nodes always hold at least one event)
             .expect("nodes have events")
             .max(index.support(ek));
         if !apriori_gate(cfg, sigma_abs, joint_supp, max_supp, stats) {

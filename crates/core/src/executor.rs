@@ -171,6 +171,7 @@ impl<'a> ShardWorker<'a> {
     /// globally frequent events, support-complete locally, and records
     /// each resulting pattern with its owned statistics.
     fn propose_l2(&mut self, freq: &[EventId]) {
+        // lint: allow(panic, structural invariant: the executor always runs l1 before later rounds)
         let index = self.index.as_ref().expect("l1 ran first");
         // Only locally present events can contribute an occurrence.
         let local: Vec<EventId> = freq
@@ -222,6 +223,7 @@ impl<'a> ShardWorker<'a> {
     fn propose_next(&mut self, freq: &[EventId], pair_relations: &PairRelations, k: usize) {
         let nodes = std::mem::take(&mut self.level);
         let db = &self.shard.db;
+        // lint: allow(panic, structural invariant: the executor always runs l1 before later rounds)
         let index = self.index.as_ref().expect("l1 ran first");
         let cfg = &self.local_cfg;
         let outputs = par_map(nodes, self.threads, |node| {
@@ -309,12 +311,17 @@ impl<'a> ShardWorker<'a> {
 }
 
 /// Runs one stage on every worker, shards concurrent up to `outer`
-/// threads, accumulating per-shard wall time.
-fn run_round<'a, F>(workers: &mut [ShardWorker<'a>], outer: usize, f: F)
-where
+/// threads, accumulating per-shard wall time. With `sched` set, shard
+/// claims go through the seeded sequencer (see [`crate::schedule`]).
+fn run_round<'a, F>(
+    workers: &mut [ShardWorker<'a>],
+    outer: usize,
+    sched: Option<&crate::schedule::SimCtl>,
+    f: F,
+) where
     F: Fn(&mut ShardWorker<'a>) + Sync,
 {
-    par_for_each(workers, outer, |_, worker| {
+    par_for_each(workers, outer, sched, |_, worker| {
         let started = Instant::now();
         f(worker);
         worker.wall += started.elapsed();
@@ -348,6 +355,7 @@ fn gate_round(
             .iter()
             .map(|e| event_supports[e.0 as usize])
             .max()
+            // lint: allow(panic, structural invariant: patterns always hold at least one event)
             .expect("patterns have events");
         if (support as f64 / max_supp as f64) + CONF_EPS < delta {
             continue;
@@ -382,6 +390,7 @@ pub(crate) fn mine_exchange_internal(
     cfg: &MinerConfig,
     threads: usize,
     sink: &mut dyn PatternSink,
+    sched: Option<&crate::schedule::SimCtl>,
 ) -> (MiningStats, Vec<ShardReport>) {
     debug_assert!(
         plan.maps_are_identity(),
@@ -396,7 +405,14 @@ pub(crate) fn mine_exchange_internal(
     // intra-shard workers: up to K concurrent shards, each with its share
     // of the remaining parallelism (a single shard gets the full budget).
     let outer = threads.min(n_shards);
-    let inner = (threads / n_shards).max(1);
+    // Scheduled runs force intra-shard parallelism to 1: the exchange
+    // protocol's concurrency story is the shard-level round loop, and the
+    // sequencer must be the only source of interleaving.
+    let inner = if sched.is_some() {
+        1
+    } else {
+        (threads / n_shards).max(1)
+    };
     let mut workers: Vec<ShardWorker<'_>> = shards
         .iter()
         .map(|shard| ShardWorker::new(shard, cfg, inner))
@@ -406,7 +422,7 @@ pub(crate) fn mine_exchange_internal(
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
 
     // ---- Round 1: owned L1 supports and boundary counts ----
-    run_round(&mut workers, outer, |w| w.l1());
+    run_round(&mut workers, outer, sched, |w| w.l1());
     let mut event_supports = vec![0usize; plan.registry().len()];
     let (mut clipped_total, mut discarded_total) = (0u64, 0u64);
     for worker in &workers {
@@ -426,10 +442,10 @@ pub(crate) fn mine_exchange_internal(
         .collect();
 
     // ---- Round 2: L2 propose → global gate → retain ----
-    run_round(&mut workers, outer, |w| w.propose_l2(&freq));
+    run_round(&mut workers, outer, sched, |w| w.propose_l2(&freq));
     let mut survivors = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
     debug_assert_recount(&workers, &survivors);
-    run_round(&mut workers, outer, |w| w.retain(&survivors));
+    run_round(&mut workers, outer, sched, |w| w.retain(&survivors));
 
     // The survivors are by construction the globally frequent 2-event
     // patterns — the transitivity table of Lemmas 4–7, identical to the
@@ -448,12 +464,12 @@ pub(crate) fn mine_exchange_internal(
         if survivors.is_empty() {
             break;
         }
-        run_round(&mut workers, outer, |w| {
+        run_round(&mut workers, outer, sched, |w| {
             w.propose_next(&freq, &pair_relations, k);
         });
         survivors = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
         debug_assert_recount(&workers, &survivors);
-        run_round(&mut workers, outer, |w| w.retain(&survivors));
+        run_round(&mut workers, outer, sched, |w| w.retain(&survivors));
     }
 
     // ---- Final pass: merged stats, thresholds (idempotent here — the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! HTPGM — Hierarchical Temporal Pattern Graph Mining.
 //!
 //! This crate implements the paper's primary contribution:
@@ -63,6 +64,7 @@ mod pattern;
 mod postprocess;
 mod reference;
 mod result;
+mod schedule;
 mod shard;
 mod sink;
 
@@ -82,6 +84,7 @@ pub use merge::{MergeSink, ShardMerge};
 pub use pattern::Pattern;
 pub use reference::mine_reference;
 pub use result::{FrequentPattern, MiningResult, MiningStats};
+pub use schedule::Schedule;
 pub use executor::ShardReport;
 pub use shard::{
     mine_sharded, mine_sharded_exchange, Shard, ShardPlan, ShardPlanner, ShardedMining,

@@ -201,6 +201,7 @@ impl ShardMerge {
                     .iter()
                     .map(|e| event_supports[e.0 as usize])
                     .max()
+                    // lint: allow(panic, structural invariant: patterns always hold at least one event)
                     .expect("patterns have events");
                 if max_supp == 0 {
                     return None;

@@ -9,12 +9,22 @@
 //! [`crate::candidates`] engine as the single-threaded miner, and emits
 //! finished nodes into a shared [`PatternSink`]. Output is bit-identical
 //! to [`crate::mine_exact`] up to pattern order (asserted by the
-//! equivalence tests) — node emission interleaves across workers, so the
-//! order is not deterministic run to run, but the set, supports and
-//! confidences are. Run statistics are summed across workers.
+//! equivalence tests, and across seeded interleavings by the
+//! [`crate::schedule`] harness) — node emission interleaves across
+//! workers, so the order is not deterministic run to run, but the set,
+//! supports and confidences are. Run statistics are summed across
+//! workers.
+//!
+//! Panic discipline: a panicking task must neither deadlock the pool nor
+//! silently drop sibling results. All scopes therefore join *every*
+//! worker before re-raising the first panic payload (see [`join_all`]),
+//! and lock acquisitions recover from poisoning — the panic is already
+//! being propagated at the join; cascading a second one out of a
+//! poisoned `Mutex` would only mask it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+use std::thread::ScopedJoinHandle;
 
 use ftpm_events::{EventId, SequenceDatabase};
 
@@ -24,6 +34,7 @@ use crate::exact::{GrowContext, MAX_EVENTS_HARD_CAP};
 use crate::index::DatabaseIndex;
 use crate::merge::merge_stats;
 use crate::result::{MiningResult, MiningStats};
+use crate::schedule::{Retire, SimCtl};
 use crate::sink::{CollectSink, PatternSink};
 
 /// Mines exactly like [`crate::mine_exact`], distributing the work over
@@ -61,20 +72,54 @@ pub fn mine_exact_parallel_with_sink(
     n_threads: usize,
     sink: &mut (dyn PatternSink + Send),
 ) -> MiningStats {
-    mine_parallel_internal(db, cfg, n_threads, None, sink)
+    mine_parallel_internal(db, cfg, n_threads, None, sink, None)
+}
+
+/// Joins every handle, then re-raises the first panic payload if any
+/// worker panicked. Joining everything first is what keeps a panicking
+/// task from silently discarding its siblings' results (they have all
+/// been produced by the time the panic propagates) and what lets the
+/// scheduled mode drain its sequencer cleanly before unwinding.
+fn join_all<T>(handles: Vec<ScopedJoinHandle<'_, T>>) -> Vec<T> {
+    let mut results = Vec::with_capacity(handles.len());
+    let mut first_panic = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(value) => results.push(value),
+            Err(payload) => first_panic = first_panic.or(Some(payload)),
+        }
+    }
+    if let Some(payload) = first_panic {
+        // Re-raise the original payload rather than panicking with a
+        // generic message, so callers see the true failure.
+        std::panic::resume_unwind(payload);
+    }
+    results
+}
+
+/// Recovers a lock even when a worker panicked while holding it: the
+/// panic is already propagating via [`join_all`], and these critical
+/// sections leave no half-written state a sibling could observe (slot
+/// mutexes guard disjoint items; the sink lock batches whole nodes).
+fn lock_clean<'a, T: ?Sized>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The owned-mask-aware engine behind [`mine_exact_parallel_with_sink`]:
 /// `owned` restricts emitted supports to a shard's owned sequences, as in
 /// [`crate::exact::mine_internal`]. Also the path the shard runner uses
-/// for per-shard parallel mining.
+/// for per-shard parallel mining, and — with `sched` set — the engine
+/// under [`crate::Schedule::mine_parallel`], where every task claim goes
+/// through the seeded sequencer instead of racing on the atomic alone.
 pub(crate) fn mine_parallel_internal(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     n_threads: usize,
     owned: Option<&[bool]>,
     sink: &mut (dyn PatternSink + Send),
+    sched: Option<&SimCtl>,
 ) -> MiningStats {
+    // lint: allow(panic, documented # Panics contract: thread count floor)
     assert!(n_threads > 0, "need at least one thread");
     if n_threads == 1 {
         return crate::exact::mine_internal(db, cfg, None, owned, sink);
@@ -107,17 +152,24 @@ pub(crate) fn mine_parallel_internal(
         .flat_map(|&ei| freq_events.iter().map(move |&ej| (ei, ej)))
         .collect();
     let next_pair = AtomicUsize::new(0);
+    if let Some(ctl) = sched {
+        ctl.phase(n_threads);
+    }
     let mut shard_outputs: Vec<(Vec<WorkNode>, MiningStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
+            .map(|worker| {
                 let pairs = &pairs;
                 let next_pair = &next_pair;
                 let engine = &engine;
                 scope.spawn(move || {
+                    let _retire = sched.map(|ctl| Retire::new(ctl, worker));
                     let mut nodes = Vec::new();
                     let mut stats = MiningStats::default();
                     stats.nodes_verified.push(0);
                     loop {
+                        if let Some(ctl) = sched {
+                            ctl.turn(worker);
+                        }
                         // Batched work stealing keeps shards balanced even
                         // when a few pairs dominate the cost.
                         let at = next_pair.fetch_add(16, Ordering::Relaxed);
@@ -134,7 +186,7 @@ pub(crate) fn mine_parallel_internal(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        join_all(handles)
     });
 
     let mut stats = MiningStats::default();
@@ -169,9 +221,12 @@ pub(crate) fn mine_parallel_internal(
         .map(|n| Mutex::new(Some(n)))
         .collect();
     let shared = Mutex::new(sink);
+    if let Some(ctl) = sched {
+        ctl.phase(n_threads);
+    }
     let shard_stats_out: Vec<MiningStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
+            .map(|worker| {
                 let next_node = &next_node;
                 let queue_refs = &queue_refs;
                 let index = &index;
@@ -179,17 +234,20 @@ pub(crate) fn mine_parallel_internal(
                 let freq_events = &freq_events;
                 let shared = &shared;
                 scope.spawn(move || {
+                    let _retire = sched.map(|ctl| Retire::new(ctl, worker));
                     let mut worker_sink = SharedSink::new(shared);
                     let mut shard_stats = MiningStats::default();
                     loop {
+                        if let Some(ctl) = sched {
+                            ctl.turn(worker);
+                        }
                         let at = next_node.fetch_add(1, Ordering::Relaxed);
                         if at >= queue_refs.len() {
                             break;
                         }
-                        let node = queue_refs[at]
-                            .lock()
-                            .expect("unpoisoned")
+                        let node = lock_clean(&queue_refs[at])
                             .take()
+                            // lint: allow(panic, structural invariant: the atomic counter hands each slot index out once)
                             .expect("each node taken once");
                         let mut grow = GrowContext {
                             db,
@@ -211,7 +269,7 @@ pub(crate) fn mine_parallel_internal(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        join_all(handles)
     });
 
     for shard_stats in shard_stats_out {
@@ -225,11 +283,12 @@ pub(crate) fn mine_parallel_internal(
 /// machinery the L3 node queue above uses). With one thread — or one
 /// item — it degrades to a plain loop with no spawn at all. Items are
 /// processed exactly once; completion order is unspecified, but every
-/// call has returned when this function returns.
+/// call has returned when this function returns. With `sched` set, each
+/// claim goes through the seeded sequencer (see [`crate::schedule`]).
 ///
 /// This is the shard executor's outer loop: each exchange round runs one
 /// stage on every [`crate::executor`] worker concurrently.
-pub(crate) fn par_for_each<T, F>(items: &mut [T], threads: usize, f: F)
+pub(crate) fn par_for_each<T, F>(items: &mut [T], threads: usize, sched: Option<&SimCtl>, f: F)
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
@@ -243,17 +302,32 @@ where
     }
     let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
     let next = AtomicUsize::new(0);
+    if let Some(ctl) = sched {
+        ctl.phase(threads);
+    }
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let at = next.fetch_add(1, Ordering::Relaxed);
-                if at >= slots.len() {
-                    break;
-                }
-                let mut item = slots[at].lock().expect("unpoisoned");
-                f(at, &mut item);
-            });
-        }
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let slots = &slots;
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let _retire = sched.map(|ctl| Retire::new(ctl, worker));
+                    loop {
+                        if let Some(ctl) = sched {
+                            ctl.turn(worker);
+                        }
+                        let at = next.fetch_add(1, Ordering::Relaxed);
+                        if at >= slots.len() {
+                            break;
+                        }
+                        let mut item = lock_clean(&slots[at]);
+                        f(at, &mut item);
+                    }
+                })
+            })
+            .collect();
+        join_all(handles);
     });
 }
 
@@ -274,12 +348,14 @@ where
     }
     let mut slots: Vec<(Option<T>, Option<R>)> =
         items.into_iter().map(|t| (Some(t), None)).collect();
-    par_for_each(&mut slots, threads, |_, slot| {
+    par_for_each(&mut slots, threads, None, |_, slot| {
+        // lint: allow(panic, structural invariant: the atomic counter hands each slot index out once)
         let item = slot.0.take().expect("each item mapped once");
         slot.1 = Some(f(item));
     });
     slots
         .into_iter()
+        // lint: allow(panic, structural invariant: par_for_each visits every slot exactly once)
         .map(|(_, r)| r.expect("every slot filled"))
         .collect()
 }
@@ -318,7 +394,7 @@ impl<'a, 'b> SharedSink<'a, 'b> {
         if self.pending.is_empty() {
             return;
         }
-        let mut sink = self.shared.lock().expect("unpoisoned");
+        let mut sink = lock_clean(self.shared);
         for (events, support, k, patterns) in self.pending.drain(..) {
             sink.node(events, support, k, patterns);
         }
@@ -342,3 +418,85 @@ impl PatternSink for SharedSink<'_, '_> {
     }
 }
 
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_for_each_with_more_threads_than_items() {
+        // threads is clamped to the item count; surplus workers are
+        // never spawned and every item is still processed exactly once.
+        let mut items = vec![0u32; 3];
+        par_for_each(&mut items, 64, None, |i, item| *item += i as u32 + 1);
+        assert_eq!(items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_for_each_with_empty_work_list() {
+        let mut items: Vec<u32> = Vec::new();
+        par_for_each(&mut items, 8, None, |_, _| unreachable!("no items"));
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn par_map_edge_cases() {
+        let empty: Vec<u32> = par_map(Vec::new(), 8, |x: u32| x);
+        assert!(empty.is_empty());
+        // Single item: stays on the calling thread.
+        assert_eq!(par_map(vec![7u32], 8, |x| x * 2), vec![14]);
+        // More threads than items, order preserved.
+        assert_eq!(
+            par_map(vec![1u32, 2, 3], 64, |x| x * 10),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock_or_dropped_siblings() {
+        // Item 3 panics; the pool must (a) unwind out of par_for_each
+        // rather than hang, (b) re-raise the original payload, and (c)
+        // have processed every sibling item — a panicking task must not
+        // silently drop its siblings' results.
+        let processed = AtomicUsize::new(0);
+        let mut items: Vec<u32> = (0..8).collect();
+        // Silence the worker's default panic-to-stderr backtrace for the
+        // duration of this test; restore the hook after.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_for_each(&mut items, 2, None, |_, item| {
+                if *item == 3 {
+                    panic!("task failure on item {item}");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        std::panic::set_hook(prev_hook);
+        let payload = result.expect_err("the worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("original panic payload");
+        assert!(msg.contains("task failure on item 3"), "payload was {msg:?}");
+        assert_eq!(
+            processed.load(Ordering::Relaxed),
+            7,
+            "all sibling items processed despite the panic"
+        );
+    }
+
+    #[test]
+    fn shared_sink_flushes_on_batch_boundary() {
+        use crate::sink::CountingSink;
+        let mut target = CountingSink::default();
+        {
+            let boxed: &mut (dyn PatternSink + Send) = &mut target;
+            let shared = Mutex::new(boxed);
+            let mut sink = SharedSink::new(&shared);
+            sink.node(vec![EventId(0)], 1, 2, Vec::new());
+            sink.flush();
+        }
+        assert_eq!(target.nodes(), 1);
+    }
+}

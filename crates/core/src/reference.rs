@@ -70,6 +70,7 @@ pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult 
                 .iter()
                 .map(|&e| index.support(e))
                 .max()
+                // lint: allow(panic, structural invariant: patterns always hold at least one event)
                 .expect("patterns have events");
             let confidence = supp as f64 / max_evt_supp as f64;
             if confidence + 1e-9 < cfg.delta {
@@ -149,6 +150,7 @@ fn dfs(
     // Tuple members passed the boundary policy when they were pushed.
     let bound_iv = |i: usize| {
         rel.effective_interval(&insts[i])
+            // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
             .expect("bound instances pass the boundary policy")
     };
     let first_start = bound_iv(tuple[0]).start;
@@ -156,7 +158,9 @@ fn dfs(
         .iter()
         .map(|&i| bound_iv(i).end)
         .max()
+        // lint: allow(panic, structural invariant: the binding is non-empty on this path)
         .expect("non-empty");
+    // lint: allow(panic, structural invariant: the binding is non-empty on this path)
     let last_key = rel.effective_key(&insts[*tuple.last().expect("non-empty")]);
 
     for (next, x) in insts.iter().enumerate().take(n_insts) {

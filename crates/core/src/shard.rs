@@ -293,6 +293,7 @@ impl ShardPlan {
                         threads,
                         Some(&shard.owned),
                         &mut merge_sink,
+                        None,
                     )
                 } else {
                     crate::exact::mine_internal(
@@ -366,7 +367,7 @@ impl ShardPlan {
         threads: usize,
         sink: &mut dyn PatternSink,
     ) -> (MiningStats, Vec<ShardReport>) {
-        mine_exchange_internal(self, cfg, threads, sink)
+        mine_exchange_internal(self, cfg, threads, sink, None)
     }
 
     /// Like [`ShardPlan::mine_exchange_into`], collecting into a

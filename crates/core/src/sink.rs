@@ -272,6 +272,7 @@ impl<W: Write> PatternSink for CsvSink<'_, W> {
             self.line.clear();
             let text = fp.pattern.display(self.registry).to_string();
             csv_field(&text, &mut self.line);
+            // lint: allow(write_discard, fmt::Write to String is infallible)
             let _ = writeln!(
                 self.line,
                 ",{k},{},{},{},{}",
@@ -346,8 +347,10 @@ impl<W: Write> PatternSink for JsonlSink<'_, W> {
                 if i > 0 {
                     self.line.push(',');
                 }
+                // lint: allow(write_discard, fmt::Write to String is infallible)
                 let _ = write!(self.line, "{}", e.0);
             }
+            // lint: allow(write_discard, fmt::Write to String is infallible)
             let _ = writeln!(
                 self.line,
                 "],\"length\":{k},\"support\":{},\"rel_support\":{},\"confidence\":{},\

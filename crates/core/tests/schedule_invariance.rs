@@ -1,0 +1,183 @@
+//! Schedule invariance: the parallel miners' output must not depend on
+//! the worker interleaving. An ordinary test run only ever sees the few
+//! schedules the OS happens to produce; the [`ftpm_core::Schedule`]
+//! harness instead *drives* the interleaving — each seed serializes the
+//! pools at task-claim granularity under a seeded sequencer — so this
+//! test sweeps ≥ 50 distinct interleavings at 2 and 4 simulated workers
+//! and asserts the merged output of both `mine_exact_parallel` and the
+//! candidate-exchange executor equals the single-threaded baseline on
+//! every one of them. Any failure names the seed that reproduces it.
+
+use std::collections::{HashMap, HashSet};
+
+use ftpm_core::{mine_exact, MinerConfig, MiningResult, Schedule, ShardPlanner};
+use ftpm_events::{
+    to_sequence_database, BoundaryPolicy, EventRegistry, RelationConfig, SplitConfig,
+};
+use ftpm_timeseries::{Alphabet, SymbolId, SymbolicDatabase, SymbolicSeries};
+
+/// Deterministic pseudo-random on/off symbolic database (xorshift64*),
+/// the same generator idiom the equivalence tests use: run lengths in
+/// `1..=max_run` so runs cross window and shard boundaries.
+fn random_syb(seed: u64, vars: usize, n_steps: usize, step: i64, max_run: u64) -> SymbolicDatabase {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545f4914f6cdd1d)
+    };
+    let mut db = SymbolicDatabase::new(0, step, n_steps);
+    for v in 0..vars {
+        let mut symbols = Vec::with_capacity(n_steps);
+        let mut sym = SymbolId((next() % 2) as u16);
+        while symbols.len() < n_steps {
+            let run = 1 + (next() % max_run) as usize;
+            for _ in 0..run.min(n_steps - symbols.len()) {
+                symbols.push(sym);
+            }
+            sym = SymbolId(1 - sym.0);
+        }
+        db.push(SymbolicSeries::new(
+            format!("V{v}"),
+            Alphabet::on_off(),
+            symbols,
+        ));
+    }
+    db
+}
+
+type Labelled = HashMap<String, (usize, f64, usize)>;
+
+fn labelled(result: &MiningResult, reg: &EventRegistry) -> Labelled {
+    result
+        .patterns
+        .iter()
+        .map(|p| {
+            (
+                p.pattern.display(reg).to_string(),
+                (p.support, p.confidence, p.clipped_occurrences),
+            )
+        })
+        .collect()
+}
+
+fn assert_equivalent(base: &Labelled, other: &Labelled, context: &str) {
+    for (label, (supp, conf, clipped)) in base {
+        match other.get(label) {
+            None => panic!("{context}: lost {label}"),
+            Some((s, c, cl)) => {
+                assert_eq!(supp, s, "{context}: support mismatch on {label}");
+                assert!(
+                    (conf - c).abs() < 1e-9,
+                    "{context}: confidence mismatch on {label}"
+                );
+                assert_eq!(clipped, cl, "{context}: clipped count mismatch on {label}");
+            }
+        }
+    }
+    assert_eq!(base.len(), other.len(), "{context}: fabricated patterns");
+}
+
+fn cfg() -> MinerConfig {
+    MinerConfig::new(0.3, 0.4)
+        .with_max_events(3)
+        .with_relation(RelationConfig::new(0, 1, 60).with_boundary(BoundaryPolicy::TrueExtent))
+}
+
+/// Seeds per worker count; 2 counts × 25 seeds = 50 interleavings per
+/// miner, with the distinct-trace assertion proving they really differ.
+const SEEDS_PER_WIDTH: u64 = 25;
+const WIDTHS: [usize; 2] = [2, 4];
+
+#[test]
+fn parallel_miner_output_is_schedule_invariant() {
+    let syb = random_syb(42, 6, 240, 5, 7);
+    let split = SplitConfig::new(100, 0);
+    let seq = to_sequence_database(&syb, split);
+    let cfg = cfg();
+    let base = labelled(&mine_exact(&seq, &cfg), seq.registry());
+    assert!(!base.is_empty(), "baseline must find patterns to compare");
+
+    let mut traces: HashSet<Vec<usize>> = HashSet::new();
+    for workers in WIDTHS {
+        for seed in 0..SEEDS_PER_WIDTH {
+            let sched = Schedule::new(seed, workers);
+            let run = sched.mine_parallel(&seq, &cfg);
+            assert_equivalent(
+                &base,
+                &labelled(&run, seq.registry()),
+                &format!("parallel seed={seed} workers={workers}"),
+            );
+            let trace = sched.trace();
+            assert!(
+                !trace.is_empty(),
+                "seed={seed} workers={workers}: claims must go through the sequencer"
+            );
+            traces.insert(trace);
+        }
+    }
+    assert!(
+        traces.len() >= 50,
+        "expected >= 50 distinct interleavings, got {}",
+        traces.len()
+    );
+}
+
+#[test]
+fn exchange_executor_output_is_schedule_invariant() {
+    let syb = random_syb(7, 6, 240, 5, 7);
+    let split = SplitConfig::new(100, 0);
+    let seq = to_sequence_database(&syb, split);
+    let cfg = cfg();
+    let base = labelled(&mine_exact(&seq, &cfg), seq.registry());
+    assert!(!base.is_empty(), "baseline must find patterns to compare");
+
+    // One plan, many schedules: the exchange rounds re-run under each
+    // seeded interleaving of the shard workers.
+    let plan = ShardPlanner::new(3)
+        .plan(&syb, split, cfg.relation.t_max)
+        .expect("valid shard geometry");
+
+    let mut traces: HashSet<Vec<usize>> = HashSet::new();
+    for workers in WIDTHS {
+        for seed in 0..SEEDS_PER_WIDTH {
+            let sched = Schedule::new(seed, workers);
+            let (run, reports) = sched.mine_exchange(&plan, &cfg);
+            assert_equivalent(
+                &base,
+                &labelled(&run, plan.registry()),
+                &format!("exchange seed={seed} workers={workers}"),
+            );
+            assert_eq!(
+                reports.iter().map(|r| r.windows_owned).sum::<usize>(),
+                seq.len(),
+                "seed={seed} workers={workers}: ownership must tile the windows"
+            );
+            let trace = sched.trace();
+            assert!(
+                !trace.is_empty(),
+                "seed={seed} workers={workers}: claims must go through the sequencer"
+            );
+            traces.insert(trace);
+        }
+    }
+    assert!(
+        traces.len() >= 50,
+        "expected >= 50 distinct interleavings, got {}",
+        traces.len()
+    );
+}
+
+#[test]
+fn same_seed_replays_the_same_interleaving() {
+    let syb = random_syb(11, 4, 160, 5, 6);
+    let seq = to_sequence_database(&syb, SplitConfig::new(100, 0));
+    let cfg = cfg();
+    let a = Schedule::new(3, 4);
+    let b = Schedule::new(3, 4);
+    let ra = a.mine_parallel(&seq, &cfg);
+    let rb = b.mine_parallel(&seq, &cfg);
+    assert_eq!(a.trace(), b.trace(), "same seed must replay the schedule");
+    assert_eq!(ra.patterns.len(), rb.patterns.len());
+}

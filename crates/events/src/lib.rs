@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Temporal events, relations and sequences — the bridge between symbolic
 //! time series (`ftpm-timeseries`) and pattern mining (`ftpm-core`).
 //!

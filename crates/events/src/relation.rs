@@ -156,18 +156,32 @@ impl RelationConfig {
     ///
     /// Panics unless `0 ≤ ε ≤ d_o` and `t_max > 0`.
     pub fn new(epsilon: i64, min_overlap: i64, t_max: i64) -> Self {
-        assert!(epsilon >= 0, "epsilon must be non-negative");
-        assert!(
-            min_overlap >= epsilon,
-            "paper requires epsilon <= d_o (Def 3.8)"
-        );
-        assert!(t_max > 0, "t_max must be positive");
-        RelationConfig {
+        // lint: allow(panic, documented # Panics contract; try_new is the fallible path)
+        RelationConfig::try_new(epsilon, min_overlap, t_max).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`RelationConfig::new`] for parameters
+    /// that come from user input: returns a message instead of panicking
+    /// when `ε < 0`, `ε > d_o`, or `t_max ≤ 0`.
+    pub fn try_new(epsilon: i64, min_overlap: i64, t_max: i64) -> Result<Self, String> {
+        if epsilon < 0 {
+            return Err(format!("epsilon must be non-negative, got {epsilon}"));
+        }
+        if min_overlap < epsilon {
+            return Err(format!(
+                "paper requires epsilon <= d_o (Def 3.8), got epsilon {epsilon} with d_o \
+                 {min_overlap}"
+            ));
+        }
+        if t_max <= 0 {
+            return Err(format!("t_max must be positive, got {t_max}"));
+        }
+        Ok(RelationConfig {
             epsilon,
             min_overlap,
             t_max,
             boundary: BoundaryPolicy::Clip,
-        }
+        })
     }
 
     /// Same config with a different `t_max`.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ftpm` — command-line frontend for the FTPMfTS pipeline.
 //!
 //! ```text
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("mine") => run_mine(&args[1..]),
         Some("graph") => run_graph(&args[1..]),
+        Some("lint") => run_lint(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -59,6 +61,7 @@ USAGE:
              [--output FILE.{{csv,jsonl}}] [--stream]
              [--sort support|confidence] [--top N] [--json]
   ftpm graph [--input FILE.csv | --demo ...] [--mu F] [--scale F]
+  ftpm lint  [--root DIR] [--json FILE]
 
 OPTIONS:
   --input FILE       CSV with a time column followed by numeric variables
@@ -99,8 +102,87 @@ OPTIONS:
   --sort KEY         order printed/exported patterns: support|confidence
   --top N            keep only the N best patterns (sorts by support
                      unless --sort says otherwise)
-  --json             machine-readable summary output"
+  --json             machine-readable summary output
+
+LINT:
+  ftpm lint runs the ftpm-analyzer workspace invariant linter (fused
+  and_count usage, panic-free library crates, exhaustive BoundaryPolicy
+  matches, unsafe confinement, checked sink writes). --root overrides
+  workspace discovery; --json writes a machine-readable report."
     );
+}
+
+/// `ftpm lint` — the workspace invariant linter, also available as
+/// `cargo run -p ftpm-analyzer`. Exits non-zero when violations exist so
+/// it can gate CI.
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut json: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(v.into()),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match it.next() {
+                Some(v) => json = Some(v.into()),
+                None => {
+                    eprintln!("--json needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?}; try `ftpm --help`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+            match ftpm_analyzer::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found above {}; pass --root", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let report = ftpm_analyzer::analyze_workspace(&root);
+    for v in &report.violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    eprintln!(
+        "ftpm-analyzer: {} files scanned, {} violations, {} allow markers",
+        report.files_scanned,
+        report.violations.len(),
+        report.allows.len()
+    );
+    if let Some(path) = json {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 struct Options {

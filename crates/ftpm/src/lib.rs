@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! **FTPMfTS** — Frequent Temporal Pattern Mining from Time Series.
 //!
 //! A Rust implementation of Ho, Ho & Pedersen, *"Efficient Temporal

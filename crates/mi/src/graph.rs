@@ -40,6 +40,7 @@ impl CorrelationGraph {
     ///
     /// Panics unless `0 < μ ≤ 1` (Def 5.4).
     pub fn build(db: &SymbolicDatabase, mu: f64) -> Self {
+        // lint: allow(panic, documented # Panics contract: Def 5.4 domain of mu)
         assert!(mu > 0.0 && mu <= 1.0, "mu must be in (0, 1]");
         Self::from_nmi_matrix(nmi_matrix(db), mu)
     }
@@ -48,7 +49,12 @@ impl CorrelationGraph {
     /// complete graph's edges survives (Def 5.6). Computes the pairwise
     /// NMI matrix only once, unlike calling [`mu_for_density`] followed by
     /// [`CorrelationGraph::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density ≤ 1` (Def 5.6).
     pub fn build_with_density(db: &SymbolicDatabase, density: f64) -> Self {
+        // lint: allow(panic, documented # Panics contract: Def 5.6 domain of density)
         assert!(
             density > 0.0 && density <= 1.0,
             "density must be in (0, 1]"
@@ -137,7 +143,9 @@ impl CorrelationGraph {
 ///
 /// Panics unless `0 < density ≤ 1` and the database has ≥ 2 variables.
 pub fn mu_for_density(db: &SymbolicDatabase, density: f64) -> f64 {
+    // lint: allow(panic, documented # Panics contract: Def 5.6 domain of density)
     assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    // lint: allow(panic, documented # Panics contract: pairwise NMI needs two variables)
     assert!(db.n_variables() >= 2, "need at least two variables");
     mu_from_matrix(&nmi_matrix(db), density)
 }
@@ -171,7 +179,7 @@ fn mu_from_matrix(nmi: &[Vec<f64>], density: f64) -> f64 {
             weights.push(nmi[i][j].min(nmi[j][i]));
         }
     }
-    weights.sort_by(|a, b| b.partial_cmp(a).expect("NMI is never NaN"));
+    weights.sort_by(|a, b| b.total_cmp(a));
     let keep = ((density * weights.len() as f64).ceil() as usize)
         .clamp(1, weights.len());
     // An edge needs weight >= mu, so the cutoff is the weight of the last

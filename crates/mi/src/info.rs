@@ -26,7 +26,9 @@ pub fn entropy(probs: &[f64]) -> f64 {
 ///
 /// Panics if the series have different lengths or are empty.
 pub fn joint_distribution(x: &SymbolicSeries, y: &SymbolicSeries) -> Vec<Vec<f64>> {
+    // lint: allow(panic, documented # Panics contract: aligned series)
     assert_eq!(x.len(), y.len(), "series must be aligned");
+    // lint: allow(panic, documented # Panics contract: non-empty series)
     assert!(!x.is_empty(), "series must be non-empty");
     let mut counts = vec![vec![0usize; y.alphabet().len()]; x.alphabet().len()];
     for (xs, ys) in x.symbols().iter().zip(y.symbols()) {

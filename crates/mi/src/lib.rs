@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Information-theoretic machinery for the approximate miner A-HTPGM
 //! (paper Section V).
 //!
