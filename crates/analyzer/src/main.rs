@@ -47,7 +47,7 @@ fn ftpm_analyzer_cli(args: &[String]) -> Result<bool, String> {
                     "ftpm-analyzer: workspace invariant linter\n\n\
                      USAGE: ftpm-analyzer [--root DIR] [--json PATH]\n\n\
                      Enforces the project rules R1-R5 over every crate:\n  \
-                     R1 and_count        no `.and(..).count_ones()` outside bitmap\n  \
+                     R1 and_count        no `.and(..).count_ones()` outside bitmap/src/kernel.rs or tests\n  \
                      R2 panic            no panics in library code of core/events/bitmap/baselines/mi\n  \
                      R3 boundary_match   BoundaryPolicy matches name every variant\n  \
                      R4 unsafe           unsafe confined to bench/src/alloc_track.rs\n  \

@@ -2,31 +2,34 @@
 //! database scan, not bitmaps), pattern matching against a sequence, and
 //! result assembly.
 //!
-//! All of it goes through [`ftpm_events::RelationConfig::effective_interval`]
-//! / [`ftpm_events::RelationConfig::effective_key`], so the baselines
-//! honor the configured [`ftpm_events::BoundaryPolicy`] exactly like the
-//! HPG miners do (historically they silently mined the clipped view
-//! whatever the policy said).
+//! All of it is generic over a [`ftpm_events::BoundaryKernel`] — the same
+//! monomorphization seam the HPG miners dispatch through — so the
+//! baselines honor the configured [`ftpm_events::BoundaryPolicy`] exactly
+//! like the HPG miners do (historically they silently mined the clipped
+//! view whatever the policy said), with the policy choice compiled out of
+//! their instance loops.
 
 use std::collections::{HashMap, HashSet};
 
 use ftpm_core::{FrequentPattern, MinerConfig, MiningResult, MiningStats, Pattern};
-use ftpm_events::{EventId, SequenceDatabase, TemporalRelation, TemporalSequence};
+use ftpm_events::{
+    BoundaryKernel, BoundaryPolicy, EventId, SequenceDatabase, TemporalRelation,
+    TemporalSequence,
+};
 
 /// Event supports counted with one horizontal scan of the database.
 /// Instances the boundary policy discards are invisible — they feed
 /// neither supports nor confidence denominators, matching
 /// `DatabaseIndex::build_with_policy`.
-pub(crate) fn event_supports(
+pub(crate) fn event_supports<K: BoundaryKernel>(
     db: &SequenceDatabase,
-    cfg: &MinerConfig,
 ) -> HashMap<EventId, usize> {
     let mut supports: HashMap<EventId, usize> = HashMap::new();
     let mut seen: HashSet<EventId> = HashSet::new();
     for seq in db.sequences() {
         seen.clear();
         for inst in seq.instances() {
-            if cfg.relation.effective_interval(inst).is_some() {
+            if K::interval(inst).is_some() {
                 seen.insert(inst.event);
             }
         }
@@ -60,16 +63,16 @@ pub(crate) fn max_event_support(
 /// `TrueExtent` the extent order can disagree with the clipped index
 /// order the sequence is sorted by, so candidates are gated by key, not
 /// by position.
-pub(crate) fn sequence_supports(
+pub(crate) fn sequence_supports<K: BoundaryKernel>(
     seq: &TemporalSequence,
     pattern: &Pattern,
     cfg: &MinerConfig,
 ) -> bool {
     let mut binding: Vec<usize> = Vec::with_capacity(pattern.len());
-    backtrack_from(seq.instances(), pattern, cfg, &mut binding)
+    backtrack_from::<K>(seq.instances(), pattern, cfg, &mut binding)
 }
 
-fn backtrack_from(
+fn backtrack_from<K: BoundaryKernel>(
     insts: &[ftpm_events::EventInstance],
     pattern: &Pattern,
     cfg: &MinerConfig,
@@ -84,9 +87,10 @@ fn backtrack_from(
     // index order, so the scan can skip everything up to the last bound
     // position; only TrueExtent (extent order can disagree with index
     // order) must rescan from the start and rely on the key gate alone.
-    let start = match cfg.relation.boundary {
-        ftpm_events::BoundaryPolicy::TrueExtent => 0,
-        ftpm_events::BoundaryPolicy::Clip | ftpm_events::BoundaryPolicy::Discard => {
+    // `K::POLICY` is a constant, so the non-matching arm compiles out.
+    let start = match K::POLICY {
+        BoundaryPolicy::TrueExtent => 0,
+        BoundaryPolicy::Clip | BoundaryPolicy::Discard => {
             binding.last().map_or(0, |&last| last + 1)
         }
     };
@@ -95,17 +99,17 @@ fn backtrack_from(
         if x.event != want {
             continue;
         }
-        let Some(x_iv) = rel.effective_interval(x) else {
+        let Some(x_iv) = K::interval(x) else {
             continue; // discarded by the boundary policy
         };
         if let Some(&last) = binding.last() {
-            if rel.effective_key(x) <= rel.effective_key(&insts[last]) {
+            if K::key(x) <= K::key(&insts[last]) {
                 continue;
             }
         }
         // Bound instances passed the policy when they were pushed.
         let bound_iv = |b: usize| {
-            rel.effective_interval(&insts[b])
+            K::interval(&insts[b])
                 // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                 .expect("bound instances pass the boundary policy")
         };
@@ -131,7 +135,7 @@ fn backtrack_from(
             continue;
         }
         binding.push(i);
-        if backtrack_from(insts, pattern, cfg, binding) {
+        if backtrack_from::<K>(insts, pattern, cfg, binding) {
             binding.pop();
             return true;
         }
@@ -200,21 +204,19 @@ pub(crate) fn assemble(
 /// instance joins an existing binding; `None` if any pair has no relation.
 /// All intervals go through the boundary policy; the caller guarantees
 /// `x` and every bound instance pass it.
-pub(crate) fn relation_column(
+pub(crate) fn relation_column<K: BoundaryKernel>(
     insts: &[ftpm_events::EventInstance],
     binding: &[u32],
     x: usize,
     cfg: &MinerConfig,
 ) -> Option<Vec<TemporalRelation>> {
     let rel = &cfg.relation;
-    let x_iv = rel
-        .effective_interval(&insts[x])
+    let x_iv = K::interval(&insts[x])
         // lint: allow(panic, structural invariant: candidates passed the boundary policy on entry)
         .expect("candidate instances pass the boundary policy");
     let mut rels = Vec::with_capacity(binding.len());
     for &b in binding {
-        let b_iv = rel
-            .effective_interval(&insts[b as usize])
+        let b_iv = K::interval(&insts[b as usize])
             // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
             .expect("bound instances pass the boundary policy");
         rels.push(rel.relate(&b_iv, &x_iv)?);

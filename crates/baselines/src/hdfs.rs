@@ -15,7 +15,9 @@
 use std::collections::{HashMap, HashSet};
 
 use ftpm_core::{MinerConfig, MiningResult, Pattern};
-use ftpm_events::{EventId, SequenceDatabase, TemporalRelation};
+use ftpm_events::{
+    BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase, TemporalRelation,
+};
 
 use crate::common::{assemble, event_supports, relation_column};
 
@@ -42,8 +44,24 @@ struct Arrangement {
 /// Mines all frequent temporal patterns with H-DFS. Output is identical
 /// to [`ftpm_core::mine_exact`].
 pub fn mine_hdfs(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+    // Monomorphization seam: fix the boundary kernel once per run.
+    struct Run<'a> {
+        db: &'a SequenceDatabase,
+        cfg: &'a MinerConfig,
+    }
+    impl BoundaryVisit for Run<'_> {
+        type Out = MiningResult;
+        fn visit<K: BoundaryKernel>(self) -> MiningResult {
+            mine_hdfs_k::<K>(self.db, self.cfg)
+        }
+    }
+    cfg.relation.boundary.dispatch(Run { db, cfg })
+}
+
+/// [`mine_hdfs`], monomorphized over the boundary kernel.
+fn mine_hdfs_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let sigma_abs = cfg.absolute_support(db.len());
-    let supports = event_supports(db, cfg);
+    let supports = event_supports::<K>(db);
 
     // Vertical transformation: build an ID-list per frequent event.
     let mut id_lists: Vec<IdList> = Vec::new();
@@ -61,11 +79,7 @@ pub fn mine_hdfs(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
                 // instances it discards never enter an ID-list.
                 let insts: Vec<u32> = seq
                     .instances_of(e)
-                    .filter(|&i| {
-                        cfg.relation
-                            .effective_interval(&seq.instances()[i])
-                            .is_some()
-                    })
+                    .filter(|&i| K::interval(&seq.instances()[i]).is_some())
                     .map(|i| i as u32)
                     .collect();
                 if !insts.is_empty() {
@@ -83,7 +97,7 @@ pub fn mine_hdfs(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let mut stack: Vec<Arrangement> = Vec::new();
     for a in &id_lists {
         for b in &id_lists {
-            for arr in merge_pair(db, cfg, a, b, sigma_abs) {
+            for arr in merge_pair::<K>(db, cfg, a, b, sigma_abs) {
                 counted.push((
                     Pattern::new(arr.events.clone(), arr.relations.clone()),
                     arr.support,
@@ -99,7 +113,7 @@ pub fn mine_hdfs(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
             continue;
         }
         for idl in &id_lists {
-            for ext in merge_extend(db, cfg, &arr, idl, sigma_abs) {
+            for ext in merge_extend::<K>(db, cfg, &arr, idl, sigma_abs) {
                 counted.push((
                     Pattern::new(ext.events.clone(), ext.relations.clone()),
                     ext.support,
@@ -114,7 +128,7 @@ pub fn mine_hdfs(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
 
 /// Merge-join two ID-lists over their common sequences, producing one
 /// arrangement per frequent relation.
-fn merge_pair(
+fn merge_pair<K: BoundaryKernel>(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     a: &IdList,
@@ -137,10 +151,10 @@ fn merge_pair(
                         let (fx, fy) = (&insts[x as usize], &insts[y as usize]);
                         // ID-list members passed the boundary policy.
                         // lint: allow(panic, structural invariant: id-list members passed the boundary policy)
-                        let fx_iv = rel.effective_interval(fx).expect("in id-list");
+                        let fx_iv = K::interval(fx).expect("in id-list");
                         // lint: allow(panic, structural invariant: id-list members passed the boundary policy)
-                        let fy_iv = rel.effective_interval(fy).expect("in id-list");
-                        if rel.effective_key(fx) >= rel.effective_key(fy) {
+                        let fy_iv = K::interval(fy).expect("in id-list");
+                        if K::key(fx) >= K::key(fy) {
                             continue; // the opposite order is the pair (b, a)
                         }
                         let max_end = fx_iv.end.max(fy_iv.end);
@@ -173,7 +187,7 @@ fn merge_pair(
 
 /// Merge an arrangement's occurrence list with an event's ID-list,
 /// producing one extended arrangement per frequent relation column.
-fn merge_extend(
+fn merge_extend<K: BoundaryKernel>(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     arr: &Arrangement,
@@ -192,12 +206,12 @@ fn merge_extend(
         let rel = &cfg.relation;
         // Bound and candidate instances all passed the boundary policy.
         let bound_iv = |b: u32| {
-            rel.effective_interval(&insts[b as usize])
+            K::interval(&insts[b as usize])
                 // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                 .expect("bound instances pass the boundary policy")
         };
         // lint: allow(panic, structural invariant: the binding is non-empty on this path)
-        let last_key = rel.effective_key(&insts[*binding.last().expect("non-empty") as usize]);
+        let last_key = K::key(&insts[*binding.last().expect("non-empty") as usize]);
         let first_start = bound_iv(binding[0]).start;
         let max_end = binding
             .iter()
@@ -208,14 +222,14 @@ fn merge_extend(
         for &xi in *candidates {
             let x = &insts[xi as usize];
             // lint: allow(panic, structural invariant: id-list members passed the boundary policy)
-            let x_iv = rel.effective_interval(x).expect("in id-list");
-            if rel.effective_key(x) <= last_key {
+            let x_iv = K::interval(x).expect("in id-list");
+            if K::key(x) <= last_key {
                 continue;
             }
             if !rel.within_t_max(first_start, max_end.max(x_iv.end)) {
                 continue;
             }
-            let Some(rels) = relation_column(insts, binding, xi as usize, cfg) else {
+            let Some(rels) = relation_column::<K>(insts, binding, xi as usize, cfg) else {
                 continue;
             };
             let entry = per_col.entry(rels).or_default();

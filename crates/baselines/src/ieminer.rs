@@ -14,15 +14,33 @@
 use std::collections::{HashMap, HashSet};
 
 use ftpm_core::{MinerConfig, MiningResult, Pattern};
-use ftpm_events::{EventId, SequenceDatabase, TemporalRelation};
+use ftpm_events::{
+    BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase, TemporalRelation,
+};
 
 use crate::common::{assemble, event_supports, sequence_supports};
 
 /// Mines all frequent temporal patterns with IEMiner. Output is identical
 /// to [`ftpm_core::mine_exact`].
 pub fn mine_ieminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+    // Monomorphization seam: fix the boundary kernel once per run.
+    struct Run<'a> {
+        db: &'a SequenceDatabase,
+        cfg: &'a MinerConfig,
+    }
+    impl BoundaryVisit for Run<'_> {
+        type Out = MiningResult;
+        fn visit<K: BoundaryKernel>(self) -> MiningResult {
+            mine_ieminer_k::<K>(self.db, self.cfg)
+        }
+    }
+    cfg.relation.boundary.dispatch(Run { db, cfg })
+}
+
+/// [`mine_ieminer`], monomorphized over the boundary kernel.
+fn mine_ieminer_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let sigma_abs = cfg.absolute_support(db.len());
-    let supports = event_supports(db, cfg);
+    let supports = event_supports::<K>(db);
     let mut frequent_events: Vec<EventId> = supports
         .iter()
         .filter(|(_, &s)| s >= sigma_abs)
@@ -42,7 +60,8 @@ pub fn mine_ieminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
         }
     }
 
-    let mut current: Vec<(Pattern, usize)> = count_by_scanning(db, cfg, &candidates, sigma_abs);
+    let mut current: Vec<(Pattern, usize)> =
+        count_by_scanning::<K>(db, cfg, &candidates, sigma_abs);
     // Frequent triples, for the Apriori check during candidate join.
     let mut frequent_pairs: HashSet<(EventId, TemporalRelation, EventId)> = current
         .iter()
@@ -80,7 +99,7 @@ pub fn mine_ieminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
                 }
             }
         }
-        current = count_by_scanning(db, cfg, &next_candidates, sigma_abs);
+        current = count_by_scanning::<K>(db, cfg, &next_candidates, sigma_abs);
         level += 1;
     }
     counted.extend(current);
@@ -92,7 +111,7 @@ pub fn mine_ieminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
 
 /// The horizontal counting pass: for every candidate, scan every sequence
 /// and test support with a backtracking match.
-fn count_by_scanning(
+fn count_by_scanning<K: BoundaryKernel>(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     candidates: &[Pattern],
@@ -102,7 +121,7 @@ fn count_by_scanning(
     for candidate in candidates {
         let mut supp = 0usize;
         for seq in db.sequences() {
-            if sequence_supports(seq, candidate, cfg) {
+            if sequence_supports::<K>(seq, candidate, cfg) {
                 supp += 1;
             }
         }

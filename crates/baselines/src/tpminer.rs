@@ -15,7 +15,7 @@
 use std::collections::{HashMap, HashSet};
 
 use ftpm_core::{MinerConfig, MiningResult, Pattern};
-use ftpm_events::{EventId, SequenceDatabase};
+use ftpm_events::{BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase};
 
 use crate::common::{assemble, event_supports, relation_column};
 
@@ -29,7 +29,7 @@ struct EndpointIndex {
 }
 
 impl EndpointIndex {
-    fn build(db: &SequenceDatabase, cfg: &MinerConfig) -> Self {
+    fn build<K: BoundaryKernel>(db: &SequenceDatabase) -> Self {
         let per_seq = db
             .sequences()
             .iter()
@@ -38,7 +38,7 @@ impl EndpointIndex {
                 for (i, inst) in seq.instances().iter().enumerate() {
                     // Instances the boundary policy discards never enter
                     // the endpoint view.
-                    if cfg.relation.effective_interval(inst).is_none() {
+                    if K::interval(inst).is_none() {
                         continue;
                     }
                     m.entry(inst.event).or_default().push(i as u32);
@@ -60,8 +60,24 @@ impl EndpointIndex {
 /// Mines all frequent temporal patterns with TPMiner-style pattern
 /// growth. Output is identical to [`ftpm_core::mine_exact`].
 pub fn mine_tpminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+    // Monomorphization seam: fix the boundary kernel once per run.
+    struct Run<'a> {
+        db: &'a SequenceDatabase,
+        cfg: &'a MinerConfig,
+    }
+    impl BoundaryVisit for Run<'_> {
+        type Out = MiningResult;
+        fn visit<K: BoundaryKernel>(self) -> MiningResult {
+            mine_tpminer_k::<K>(self.db, self.cfg)
+        }
+    }
+    cfg.relation.boundary.dispatch(Run { db, cfg })
+}
+
+/// [`mine_tpminer`], monomorphized over the boundary kernel.
+fn mine_tpminer_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let sigma_abs = cfg.absolute_support(db.len());
-    let supports = event_supports(db, cfg);
+    let supports = event_supports::<K>(db);
 
     // Per-sequence, per-event instance lists (the vertical endpoint view).
     let frequent: Vec<EventId> = {
@@ -74,7 +90,7 @@ pub fn mine_tpminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
         v
     };
 
-    let endpoints = EndpointIndex::build(db, cfg);
+    let endpoints = EndpointIndex::build::<K>(db);
     let mut counted: Vec<(Pattern, usize)> = Vec::new();
     for &e in &frequent {
         // Project the database onto the 1-event prefix <e>.
@@ -84,7 +100,7 @@ pub fn mine_tpminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
                 projection.push((si, vec![ii]));
             }
         }
-        grow(
+        grow::<K>(
             db,
             &endpoints,
             cfg,
@@ -102,7 +118,7 @@ pub fn mine_tpminer(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
 /// Extends the prefix `(events, relations)` with every frequent event, in
 /// depth-first order.
 #[allow(clippy::too_many_arguments)]
-fn grow(
+fn grow<K: BoundaryKernel>(
     db: &SequenceDatabase,
     endpoints: &EndpointIndex,
     cfg: &MinerConfig,
@@ -126,12 +142,12 @@ fn grow(
             // Projected and candidate instances passed the boundary
             // policy when they entered the endpoint view.
             let bound_iv = |b: u32| {
-                rel.effective_interval(&insts[b as usize])
+                K::interval(&insts[b as usize])
                     // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                     .expect("bound instances pass the boundary policy")
             };
             // lint: allow(panic, structural invariant: the binding is non-empty on this path)
-            let last_key = rel.effective_key(&insts[*binding.last().expect("non-empty") as usize]);
+            let last_key = K::key(&insts[*binding.last().expect("non-empty") as usize]);
             let first_start = bound_iv(binding[0]).start;
             let max_end = binding
                 .iter()
@@ -143,14 +159,14 @@ fn grow(
                 let xi = xi as usize;
                 let x = &insts[xi];
                 // lint: allow(panic, structural invariant: endpoint-view members passed the boundary policy)
-                let x_iv = rel.effective_interval(x).expect("in endpoint view");
-                if rel.effective_key(x) <= last_key {
+                let x_iv = K::interval(x).expect("in endpoint view");
+                if K::key(x) <= last_key {
                     continue;
                 }
                 if !rel.within_t_max(first_start, max_end.max(x_iv.end)) {
                     continue;
                 }
-                let Some(rels) = relation_column(insts, binding, xi, cfg) else {
+                let Some(rels) = relation_column::<K>(insts, binding, xi, cfg) else {
                     continue;
                 };
                 let entry = groups.entry(rels).or_default();
@@ -172,7 +188,7 @@ fn grow(
                 Pattern::new(new_events.clone(), new_relations.clone()),
                 seqs.len(),
             ));
-            grow(
+            grow::<K>(
                 db,
                 endpoints,
                 cfg,

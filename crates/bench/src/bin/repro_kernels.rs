@@ -1,0 +1,21 @@
+#![deny(unsafe_code)]
+//! Hot-path kernel speedup gate (beyond the paper; ROADMAP "Kernelize
+//! the hot path"): the block-unrolled CSA `and_count` kernel must beat
+//! the retained scalar reference by >= 1.5x on the microbench, with the
+//! fused `and_count_many` batch and one end-to-end exact mine of the
+//! energy demo reported alongside. Exits nonzero when the gate fails, so
+//! CI can gate on it. Args: `[scale] [max_events]`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = ftpm_bench::Opts::from_args(0.02, 4);
+    if ftpm_bench::experiments::kernel_speedup(&opts) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "kernel speedup FAILED: and_count did not reach 1.5x over the \
+             scalar reference at any measured size"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -357,6 +357,8 @@ pub fn threads_scaling(opts: &Opts) {
         "threads",
         &["dataset", "threads", "seconds", "patterns", "speedup"],
     );
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json_rows = Vec::new();
     for data in &datasets {
         let cfg = config(0.4, 0.4, opts);
         let mut base: Option<(f64, usize)> = None;
@@ -370,16 +372,40 @@ pub fn threads_scaling(opts: &Opts) {
                 "{}: {threads}-thread run diverged from single-threaded pattern count",
                 data.name
             );
+            let speedup = base_secs / elapsed.as_secs_f64();
             report.row(vec![
                 data.name.clone(),
                 threads.to_string(),
                 secs(elapsed),
                 r.len().to_string(),
-                format!("{:.2}", base_secs / elapsed.as_secs_f64()),
+                format!("{speedup:.2}"),
             ]);
+            json_rows.push(format!(
+                "    {{\"dataset\": \"{}\", \"threads\": {threads}, \
+                 \"seconds\": {:.6}, \"patterns\": {}, \"speedup\": {speedup:.3}}}",
+                data.name,
+                elapsed.as_secs_f64(),
+                r.len(),
+            ));
         }
     }
     report.finish();
+
+    // Machine-readable summary for archiving. `host_cores` is recorded
+    // because on a single-core host the speedup column is structural
+    // (shows the sharded path adds no divergence and bounded overhead),
+    // not a parallelism measurement.
+    let json = format!(
+        "{{\n  \"experiment\": \"threads_scaling\",\n  \"scale\": {},\n  \
+         \"host_cores\": {host_cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        opts.scale,
+        json_rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/threads_scaling.json", json) {
+        Ok(()) => println!("wrote results/threads_scaling.json"),
+        Err(e) => eprintln!("could not write results/threads_scaling.json: {e}"),
+    }
 }
 
 /// Output-path memory (extends Table VIII): peak heap of one E-HTPGM run
@@ -852,6 +878,201 @@ pub fn exchange_pruning(opts: &Opts) -> bool {
         Err(e) => eprintln!("could not write results/exchange_pruning.json: {e}"),
     }
     exchange_equal && exchange_prunes
+}
+
+/// Hot-path kernel speedup (beyond the paper; ROADMAP "Kernelize the hot
+/// path"): times the block-unrolled CSA `Bitmap::and_count` kernel
+/// against the retained scalar reference (`and_count_scalar`) at
+/// L1-resident and cache-straddling operand sizes, the fused
+/// `and_count_many` batch against the equivalent per-pair loop on
+/// support bitmaps built from the energy demo itself, and one
+/// end-to-end exact mine of the demo through the kernelized path.
+///
+/// The scalar "before" survives only as the bench/proptest reference —
+/// the miner cannot be toggled back at runtime — so the microbenches
+/// carry the before/after story and the end-to-end row pins the absolute
+/// wall clock CI tracks across runs. All timings are best-of-N over
+/// millisecond-scale samples: the CI container is a single shared core
+/// with ±10% noise, and the minimum is the stable estimator there.
+/// Writes `results/kernel_speedup.{csv,json}` and returns whether
+/// `and_count` beat the scalar reference by ≥ 1.5× at any measured size
+/// (the CI gate; the CSA kernel's design point is the ≥ 1024-word range).
+pub fn kernel_speedup(opts: &Opts) -> bool {
+    use std::collections::HashMap;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    use ftpm_bitmap::Bitmap;
+    use ftpm_events::EventId;
+
+    const SAMPLES: usize = 9;
+    /// u64 words touched per timed sample — keeps every sample around a
+    /// millisecond so the best-of-N minimum is meaningful.
+    const WORDS_PER_SAMPLE: usize = 1 << 22;
+
+    println!("Kernel speedup: and_count / and_count_many (scale {})\n", opts.scale);
+
+    // Best-of-N ns/call for a closure returning a count (black_boxed so
+    // the intersection is not hoisted or dead-code-eliminated).
+    let best_ns = |iters: usize, f: &mut dyn FnMut() -> usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let mut sink = 0usize;
+            let started = Instant::now();
+            for _ in 0..iters {
+                sink = sink.wrapping_add(black_box(f()));
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            black_box(sink);
+            best = best.min(elapsed);
+        }
+        best / iters as f64 * 1e9
+    };
+
+    // Deterministic ~50%-density operands (splitmix64 bit soup — the
+    // worst case for popcount shortcuts, so the speedup is the kernel's,
+    // not the data's).
+    let random_bitmap = |words: usize, seed: u64| -> Bitmap {
+        let mut bm = Bitmap::new(words * 64);
+        let mut state = seed;
+        for w in 0..words {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            for b in 0..64 {
+                if (z >> b) & 1 == 1 {
+                    bm.set(w * 64 + b);
+                }
+            }
+        }
+        bm
+    };
+
+    let mut report = Report::new(
+        "kernel_speedup",
+        &["benchmark", "size", "baseline", "kernelized", "speedup"],
+    );
+    let mut json_rows = Vec::new();
+    let mut best_speedup = 0.0f64;
+
+    // 1. and_count: scalar reference vs the CSA kernel, at one
+    //    L1-resident size and two that straddle L1/L2.
+    for words in [256usize, 1024, 4096] {
+        let a = random_bitmap(words, 0x0dd0_11ed + words as u64);
+        let b = random_bitmap(words, 0xface_feed + words as u64);
+        let iters = (WORDS_PER_SAMPLE / words).max(16);
+        let scalar_ns = best_ns(iters, &mut || a.and_count_scalar(&b));
+        let kernel_ns = best_ns(iters, &mut || a.and_count(&b));
+        let speedup = scalar_ns / kernel_ns;
+        best_speedup = best_speedup.max(speedup);
+        report.row(vec![
+            "and_count".into(),
+            format!("{words} w"),
+            format!("{scalar_ns:.0} ns"),
+            format!("{kernel_ns:.0} ns"),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"benchmark\": \"and_count\", \"words\": {words}, \
+             \"scalar_ns\": {scalar_ns:.1}, \"kernel_ns\": {kernel_ns:.1}, \
+             \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let and_count_ok = best_speedup >= 1.5;
+
+    // 2. and_count_many: the grow-candidates batch (one candidate bitmap
+    //    intersected with every Lemma-5 survivor) vs the per-pair loop it
+    //    replaced — once at the CSA kernel's design size with synthetic
+    //    operands, once on the demo's real per-event support bitmaps
+    //    (tiny universes, where the batch must at least not regress).
+    let mut fused_bench = |label: &str, candidate: &Bitmap, partners: &[&Bitmap]| {
+        let words = candidate.len().div_ceil(64);
+        let words_touched = partners.len() * words;
+        let iters = (WORDS_PER_SAMPLE / words_touched.max(1)).max(16);
+        let mut counts = Vec::new();
+        let pairwise_ns = best_ns(iters, &mut || {
+            partners.iter().map(|p| candidate.and_count(p)).sum()
+        });
+        let fused_ns = best_ns(iters, &mut || {
+            candidate.and_count_many(partners, &mut counts);
+            counts.iter().sum()
+        });
+        let speedup = pairwise_ns / fused_ns;
+        report.row(vec![
+            "and_count_many".into(),
+            format!("{label} {}x{words} w", partners.len()),
+            format!("{pairwise_ns:.0} ns"),
+            format!("{fused_ns:.0} ns"),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"benchmark\": \"and_count_many\", \"operands\": \"{label}\", \
+             \"partners\": {}, \"words\": {words}, \"pairwise_ns\": {pairwise_ns:.1}, \
+             \"fused_ns\": {fused_ns:.1}, \"speedup\": {speedup:.3}}}",
+            partners.len(),
+        ));
+    };
+    {
+        let candidate = random_bitmap(1024, 0xc0ffee);
+        let partner_bitmaps: Vec<Bitmap> = (0..8)
+            .map(|i| random_bitmap(1024, 0xbeef + i as u64))
+            .collect();
+        let partners: Vec<&Bitmap> = partner_bitmaps.iter().collect();
+        fused_bench("synthetic", &candidate, &partners);
+    }
+    let data = nist_like(opts.scale);
+    let n_seqs = data.seq.len();
+    let mut by_event: HashMap<EventId, Bitmap> = HashMap::new();
+    for (si, seq) in data.seq.sequences().iter().enumerate() {
+        for inst in seq.instances() {
+            by_event
+                .entry(inst.event)
+                .or_insert_with(|| Bitmap::new(n_seqs))
+                .set(si);
+        }
+    }
+    let mut supports: Vec<Bitmap> = by_event.into_values().collect();
+    supports.sort_by_key(|b| std::cmp::Reverse(b.count_ones()));
+    if supports.len() >= 3 {
+        let partners: Vec<&Bitmap> = supports[1..].iter().collect();
+        fused_bench("demo", &supports[0], &partners);
+    }
+
+    // 3. End to end: one exact mine of the demo through the kernelized
+    //    verify path — the absolute number CI archives run over run.
+    let cfg = config(0.4, 0.4, opts);
+    let (result, elapsed) = time(|| mine_exact(&data.seq, &cfg));
+    report.row(vec![
+        "mine_exact".into(),
+        format!("{} windows", n_seqs),
+        "-".into(),
+        format!("{} s", secs(elapsed)),
+        "-".into(),
+    ]);
+    report.finish();
+
+    // Machine-readable summary for the CI kernel-speedup gate.
+    let json = format!(
+        "{{\n  \"experiment\": \"kernel_speedup\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"samples\": {SAMPLES},\n  \
+         \"and_count_best_speedup\": {best_speedup:.3},\n  \
+         \"and_count_speedup_ok\": {and_count_ok},\n  \
+         \"end_to_end\": {{\"sigma\": 0.4, \"delta\": 0.4, \
+         \"seconds\": {:.6}, \"patterns\": {}}},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        data.name,
+        opts.scale,
+        elapsed.as_secs_f64(),
+        result.len(),
+        json_rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/kernel_speedup.json", json) {
+        Ok(()) => println!("wrote results/kernel_speedup.json"),
+        Err(e) => eprintln!("could not write results/kernel_speedup.json: {e}"),
+    }
+    and_count_ok
 }
 
 fn scalability(name: &str, data: &Dataset, opts: &Opts, by_sequences: bool) {

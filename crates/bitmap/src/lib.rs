@@ -8,6 +8,8 @@
 //! popcount, and the joint support of an event combination is the popcount
 //! of the AND of the member bitmaps (Alg. 1, line 8).
 
+pub mod kernel;
+
 /// A fixed-length bitmap over sequence identifiers `0..len`.
 ///
 /// # Examples
@@ -98,7 +100,7 @@ impl Bitmap {
     /// Number of set bits; this is `countBitmap` in Alg. 1 of the paper,
     /// i.e. the (absolute) support of the indexed object.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernel::count_ones_words(&self.words)
     }
 
     /// True iff no bit is set.
@@ -114,15 +116,9 @@ impl Bitmap {
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
-        Bitmap {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
-            len: self.len,
-        }
+        let mut words = Vec::new();
+        kernel::and_words(&self.words, &other.words, &mut words);
+        Bitmap { words, len: self.len }
     }
 
     /// Fused AND + popcount: `self.and(other).count_ones()` without
@@ -131,9 +127,10 @@ impl Bitmap {
     /// gates call it for *every* candidate — most of which are pruned, so
     /// never paying the allocation is a hot-path win.
     ///
-    /// # Panics
-    ///
-    /// Panics if the universes differ.
+    /// Mismatched universes are a caller bug, checked in debug builds;
+    /// release builds return the saturating answer over the common
+    /// prefix instead of panicking (the library crates are panic-free
+    /// on their hot paths).
     ///
     /// # Examples
     ///
@@ -145,13 +142,53 @@ impl Bitmap {
     /// assert_eq!(a.and_count(&b), a.and(&b).count_ones());
     /// ```
     pub fn and_count(&self, other: &Bitmap) -> usize {
-        // lint: allow(panic, documented # Panics contract: universes must match)
-        assert_eq!(self.len, other.len, "bitmap universe mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        debug_assert_eq!(self.len, other.len, "bitmap universe mismatch");
+        kernel::and_count_words(&self.words, &other.words)
+    }
+
+    /// Scalar reference implementation of [`and_count`] — the pre-kernel
+    /// loop, kept so property tests and the `repro_kernels` benchmark
+    /// can pin the carry-save-adder kernel against it.
+    ///
+    /// [`and_count`]: Bitmap::and_count
+    pub fn and_count_scalar(&self, other: &Bitmap) -> usize {
+        debug_assert_eq!(self.len, other.len, "bitmap universe mismatch");
+        kernel::and_count_words_scalar(&self.words, &other.words)
+    }
+
+    /// Fused AND+popcount of `self` against every bitmap in `partners`
+    /// in one pass over `self`'s words; `counts` is cleared and filled
+    /// with one support per partner. Equivalent to calling
+    /// [`and_count`](Bitmap::and_count) per pair, but each block of the
+    /// candidate bitmap is gated against all partners while it is hot.
+    pub fn and_count_many(&self, partners: &[&Bitmap], counts: &mut Vec<usize>) {
+        debug_assert!(
+            partners.iter().all(|p| p.len == self.len),
+            "bitmap universe mismatch"
+        );
+        // Below one CSA block the batched kernel's per-partner state (two
+        // heap allocations) costs more than the intersections themselves;
+        // sequence universes are often this small (one bit per window).
+        if self.words.len() < kernel::CSA_BLOCK {
+            counts.clear();
+            counts.extend(
+                partners
+                    .iter()
+                    .map(|p| kernel::and_count_words(&self.words, &p.words)),
+            );
+            return;
+        }
+        let mut words: Vec<&[u64]> = Vec::with_capacity(partners.len());
+        words.extend(partners.iter().map(|p| p.words.as_slice()));
+        kernel::and_count_many_words(&self.words, &words, counts);
+    }
+
+    /// True iff `self & other` has no bit set — the zero/nonzero half of
+    /// [`and_count`](Bitmap::and_count), with an early exit on the first
+    /// shared word.
+    pub fn is_disjoint(&self, other: &Bitmap) -> bool {
+        debug_assert_eq!(self.len, other.len, "bitmap universe mismatch");
+        kernel::is_disjoint_words(&self.words, &other.words)
     }
 
     /// In-place bitwise AND.
@@ -162,9 +199,7 @@ impl Bitmap {
     pub fn and_assign(&mut self, other: &Bitmap) {
         // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        kernel::and_assign_words(&mut self.words, &other.words);
     }
 
     /// Bitwise OR.
@@ -175,15 +210,9 @@ impl Bitmap {
     pub fn or(&self, other: &Bitmap) -> Bitmap {
         // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
-        Bitmap {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a | b)
-                .collect(),
-            len: self.len,
-        }
+        let mut words = Vec::new();
+        kernel::or_words(&self.words, &other.words, &mut words);
+        Bitmap { words, len: self.len }
     }
 
     /// In-place bitwise OR.
@@ -194,9 +223,7 @@ impl Bitmap {
     pub fn or_assign(&mut self, other: &Bitmap) {
         // lint: allow(panic, documented # Panics contract: universes must match)
         assert_eq!(self.len, other.len, "bitmap universe mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernel::or_assign_words(&mut self.words, &other.words);
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -316,12 +343,41 @@ mod tests {
         assert_eq!(a.and_count(&Bitmap::new(200)), 0);
     }
 
+    /// The universe-mismatch contract on `and_count` is a debug
+    /// assertion only: release builds return the saturating
+    /// common-prefix answer instead of panicking.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "universe mismatch")]
     fn and_count_mismatched_lengths_panics() {
         let a = Bitmap::new(10);
         let b = Bitmap::new(11);
         let _ = a.and_count(&b);
+    }
+
+    #[test]
+    fn and_count_many_matches_per_pair() {
+        let a = Bitmap::from_indices(500, (0..500).step_by(3));
+        let b = Bitmap::from_indices(500, (0..500).step_by(2));
+        let c = Bitmap::from_indices(500, [7, 9, 480]);
+        let d = Bitmap::new(500);
+        let partners = [&b, &c, &d];
+        let mut counts = Vec::new();
+        a.and_count_many(&partners, &mut counts);
+        let expect: Vec<usize> = partners.iter().map(|p| a.and_count(p)).collect();
+        assert_eq!(counts, expect);
+        a.and_count_many(&[], &mut counts);
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn is_disjoint_matches_and_count() {
+        let a = Bitmap::from_indices(300, [0, 64, 299]);
+        let b = Bitmap::from_indices(300, [1, 65, 298]);
+        let c = Bitmap::from_indices(300, [299]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(Bitmap::new(0).is_disjoint(&Bitmap::new(0)));
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! parallel miner carried its own hard-coded epsilon at the L2 gate,
 //! which is exactly the kind of drift this module exists to prevent.)
 
+use std::marker::PhantomData;
+
 use ftpm_bitmap::Bitmap;
-use ftpm_events::{EventId, SequenceDatabase, TemporalRelation};
+use ftpm_events::{BoundaryKernel, EventId, SequenceDatabase, TemporalRelation};
 
 use crate::config::MinerConfig;
 use crate::index::DatabaseIndex;
+use crate::occ::{OccArena, OccRange};
 use crate::pattern::Pattern;
 use crate::result::MiningStats;
 
@@ -73,17 +76,21 @@ pub(crate) struct WorkPattern {
     pub(crate) pattern: Pattern,
     pub(crate) support: usize,
     pub(crate) confidence: f64,
-    /// `(sequence, instance indices)` — each tuple lists the bound
-    /// instances in chronological order.
-    pub(crate) occurrences: Vec<(u32, Vec<u32>)>,
+    /// The pattern's occurrence bindings: a range of rows in the owning
+    /// node's [`WorkNode::occs`] arena.
+    pub(crate) occurrences: OccRange,
 }
 
-/// Working node: event combination + joint bitmap + patterns.
+/// Working node: event combination + joint bitmap + patterns, plus the
+/// struct-of-arrays arena holding every pattern's occurrence bindings
+/// (each binding row: sequence id + instance indices in chronological
+/// order). Patterns own disjoint ascending ranges of the arena.
 pub(crate) struct WorkNode {
     pub(crate) events: Vec<EventId>,
     pub(crate) bitmap: Bitmap,
     pub(crate) support: usize,
     pub(crate) patterns: Vec<WorkPattern>,
+    pub(crate) occs: OccArena,
 }
 
 /// Dense `events × events` table of frequent 2-event relations: 3 bits
@@ -122,14 +129,23 @@ impl PairRelations {
 /// The L2 candidate engine: gates one ordered event pair through Apriori
 /// pruning and verifies the survivors on instances. One instance is
 /// shared by every L2 code path (sequential loop, parallel shards).
-pub(crate) struct L2Engine<'a> {
+///
+/// The engine is monomorphized over the boundary kernel `K` — the
+/// [`ftpm_events::BoundaryPolicy`] variant fixed at compile time — so
+/// the per-instance interval/order decisions in [`verify_pair`] are
+/// straight-line code. Miners pick `K` once per run through
+/// [`ftpm_events::BoundaryPolicy::dispatch`] at their entry point.
+///
+/// [`verify_pair`]: L2Engine::verify_pair
+pub(crate) struct L2Engine<'a, K: BoundaryKernel> {
     pub(crate) db: &'a SequenceDatabase,
     pub(crate) index: &'a DatabaseIndex,
     pub(crate) cfg: &'a MinerConfig,
     pub(crate) sigma_abs: usize,
+    pub(crate) kernel: PhantomData<K>,
 }
 
-impl L2Engine<'_> {
+impl<K: BoundaryKernel> L2Engine<'_, K> {
     /// Runs one ordered candidate pair `(ei, ej)` end to end: Apriori
     /// gate, then instance verification. `stats.nodes_verified[0]` counts
     /// the pairs that reach verification.
@@ -139,11 +155,19 @@ impl L2Engine<'_> {
         ej: EventId,
         stats: &mut MiningStats,
     ) -> Option<WorkNode> {
-        // Gate on the fused AND+popcount first: most candidates die here,
-        // and the joint bitmap is only materialized for the survivors.
-        let joint_supp = self.index.joint_support(ei, ej);
         let max_supp = self.index.support(ei).max(self.index.support(ej));
-        if !apriori_gate(self.cfg, self.sigma_abs, joint_supp, max_supp, stats) {
+        if self.cfg.pruning.apriori {
+            // Gate on the fused AND+popcount first: most candidates die
+            // here, and the joint bitmap is only materialized for the
+            // survivors.
+            let joint_supp = self.index.joint_support(ei, ej);
+            if !apriori_gate(self.cfg, self.sigma_abs, joint_supp, max_supp, stats) {
+                return None;
+            }
+        } else if self.index.bitmap(ei).is_disjoint(self.index.bitmap(ej)) {
+            // Without Apriori pruning only the zero/nonzero answer gates
+            // the pair; the early-exit kernel gives it without a full
+            // popcount pass.
             return None;
         }
         let joint = self.index.bitmap(ei).and(self.index.bitmap(ej));
@@ -168,29 +192,29 @@ impl L2Engine<'_> {
             Bitmap::new(n_seqs),
             Bitmap::new(n_seqs),
         ];
-        let mut occs: [Vec<(u32, Vec<u32>)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut occs = [OccArena::new(2), OccArena::new(2), OccArena::new(2)];
 
-        // The boundary policy decides which interval of each instance the
-        // relation model sees (clipped view, true run extent, or none at
-        // all). Under `Discard` the index already hides clipped instances,
-        // so the `None` arms are just belt-and-braces.
+        // The boundary kernel `K` decides which interval of each instance
+        // the relation model sees (clipped view, true run extent, or none
+        // at all). Under `Discard` the index already hides clipped
+        // instances, so the `None` arms are just belt-and-braces.
         let rel = &self.cfg.relation;
         for seq_id in joint.iter_ones() {
             let seq = &self.db.sequences()[seq_id];
             for &ii in self.index.instances_in(seq_id, ei) {
                 let inst_i = &seq.instances()[ii as usize];
-                let Some(iv_i) = rel.effective_interval(inst_i) else {
+                let Some(iv_i) = K::interval(inst_i) else {
                     continue;
                 };
-                let key_i = rel.effective_key(inst_i);
+                let key_i = K::key(inst_i);
                 for &jj in self.index.instances_in(seq_id, ej) {
                     let inst_j = &seq.instances()[jj as usize];
-                    let Some(iv_j) = rel.effective_interval(inst_j) else {
+                    let Some(iv_j) = K::interval(inst_j) else {
                         continue;
                     };
                     // The node (Ei, Ej) binds Ei to the chronologically first
                     // instance; the opposite order belongs to node (Ej, Ei).
-                    if key_i >= rel.effective_key(inst_j) {
+                    if key_i >= K::key(inst_j) {
                         continue;
                     }
                     stats.instance_checks += 1;
@@ -205,13 +229,14 @@ impl L2Engine<'_> {
                     }
                     if let Some(r) = rel.relate(&iv_i, &iv_j) {
                         bitmaps[r.index()].set(seq_id);
-                        occs[r.index()].push((seq_id as u32, vec![ii, jj]));
+                        occs[r.index()].push(seq_id as u32, &[ii, jj]);
                     }
                 }
             }
         }
 
         let mut node_patterns = Vec::new();
+        let mut node_occs = OccArena::new(2);
         for r in TemporalRelation::ALL {
             let support = bitmaps[r.index()].count_ones();
             let Some(confidence) =
@@ -219,11 +244,13 @@ impl L2Engine<'_> {
             else {
                 continue;
             };
+            let scratch = &occs[r.index()];
+            let all = scratch.since(0);
             node_patterns.push(WorkPattern {
                 pattern: Pattern::pair(ei, r, ej),
                 support,
                 confidence,
-                occurrences: std::mem::take(&mut occs[r.index()]),
+                occurrences: node_occs.append_from(scratch, all),
             });
         }
         if node_patterns.is_empty() {
@@ -234,6 +261,7 @@ impl L2Engine<'_> {
             support: joint.count_ones(),
             bitmap: joint.clone(),
             patterns: node_patterns,
+            occs: node_occs,
         })
     }
 }

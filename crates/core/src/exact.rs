@@ -27,15 +27,19 @@
 //! the "efficient data structures" story the paper tells about HTPGM.
 
 use std::collections::HashMap;
+use std::marker::PhantomData;
 
 use ftpm_bitmap::Bitmap;
-use ftpm_events::{EventId, SequenceDatabase, TemporalRelation};
+use ftpm_events::{
+    BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase, TemporalRelation,
+};
 
 use crate::candidates::{
     apriori_gate, passes_thresholds, L2Engine, PairRelations, WorkNode, WorkPattern,
 };
 use crate::config::MinerConfig;
 use crate::index::DatabaseIndex;
+use crate::occ::OccArena;
 use crate::result::{FrequentPattern, MiningResult, MiningStats};
 use crate::sink::{CollectSink, PatternSink};
 
@@ -86,8 +90,10 @@ pub fn mine_exact_with_sink(
     mine_internal(db, cfg, None, None, sink)
 }
 
-/// Occurrence accumulator: supporting-sequence bitmap + bound tuples.
-type OccAccum = (Bitmap, Vec<(u32, Vec<u32>)>);
+/// Occurrence accumulator: supporting-sequence bitmap + bound tuples
+/// (a scratch struct-of-arrays arena, spliced into the child node's
+/// arena if the group survives the thresholds).
+type OccAccum = (Bitmap, OccArena);
 
 /// Records how many instances of `db` carry a window-boundary clip, and
 /// how many of those the active [`ftpm_events::BoundaryPolicy`] drops
@@ -144,6 +150,38 @@ pub(crate) fn mine_internal(
     owned: Option<&[bool]>,
     sink: &mut dyn PatternSink,
 ) -> MiningStats {
+    // Monomorphization seam: fix the boundary kernel once per run, so
+    // every instance-level decision below compiles branch-free.
+    struct Run<'a, 'c> {
+        db: &'a SequenceDatabase,
+        cfg: &'a MinerConfig,
+        corr: Option<&'a CorrelationFilter<'c>>,
+        owned: Option<&'a [bool]>,
+        sink: &'a mut dyn PatternSink,
+    }
+    impl BoundaryVisit for Run<'_, '_> {
+        type Out = MiningStats;
+        fn visit<K: BoundaryKernel>(self) -> MiningStats {
+            mine_internal_k::<K>(self.db, self.cfg, self.corr, self.owned, self.sink)
+        }
+    }
+    cfg.relation.boundary.dispatch(Run {
+        db,
+        cfg,
+        corr,
+        owned,
+        sink,
+    })
+}
+
+/// [`mine_internal`], monomorphized over the boundary kernel.
+fn mine_internal_k<K: BoundaryKernel>(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    corr: Option<&CorrelationFilter<'_>>,
+    owned: Option<&[bool]>,
+    sink: &mut dyn PatternSink,
+) -> MiningStats {
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
@@ -166,11 +204,12 @@ pub(crate) fn mine_internal(
     sink.begin(&l1);
 
     // ---- L2: frequent 2-event patterns (Alg. 1 lines 5–14) ----
-    let engine = L2Engine {
+    let engine = L2Engine::<K> {
         db,
         index: &index,
         cfg,
         sigma_abs,
+        kernel: PhantomData,
     };
     let mut pair_relations = PairRelations::new(db.registry().len());
     let mut level_nodes: Vec<WorkNode> = Vec::new();
@@ -203,7 +242,7 @@ pub(crate) fn mine_internal(
     // what keeps HTPGM's memory footprint below the list-materializing
     // baselines (Table VIII).
     let db_has_clipped = stats.clipped_instances > 0;
-    let mut grow = GrowContext {
+    let mut grow = GrowContext::<K> {
         db,
         cfg,
         index: &index,
@@ -215,6 +254,7 @@ pub(crate) fn mine_internal(
         sink,
         db_has_clipped,
         owned,
+        kernel: PhantomData,
     };
     for node in level_nodes {
         grow.grow_node(node, 3);
@@ -227,7 +267,7 @@ pub(crate) fn mine_internal(
 /// `ek` that is chronologically last, verifying the new triples
 /// iteratively (and pruning through L2 when transitivity pruning is on).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn extend_node(
+pub(crate) fn extend_node<K: BoundaryKernel>(
     db: &SequenceDatabase,
     index: &DatabaseIndex,
     cfg: &MinerConfig,
@@ -242,27 +282,31 @@ pub(crate) fn extend_node(
 ) -> Option<WorkNode> {
     let n_seqs = db.len();
     let rel = &cfg.relation;
+    let width = node.events.len() + 1;
     let mut new_patterns: Vec<WorkPattern> = Vec::new();
+    let mut child_occs = OccArena::new(width);
 
     for parent in &node.patterns {
         // Group candidate extensions by their packed relation column
         // (r(E_1,E_k), …, r(E_{k-1},E_k)).
         let mut accum: HashMap<u64, OccAccum> = HashMap::new();
-        for (seq_id, tuple) in &parent.occurrences {
-            if !joint.get(*seq_id as usize) {
+        for oi in parent.occurrences.iter() {
+            let seq_id = node.occs.seq(oi);
+            if !joint.get(seq_id as usize) {
                 continue;
             }
-            let seq = &db.sequences()[*seq_id as usize];
+            let tuple = node.occs.tuple(oi);
+            let seq = &db.sequences()[seq_id as usize];
             // Bound instances passed the boundary policy when the parent
             // occurrence was built, so their effective interval exists.
             let bound_iv = |ti: u32| {
-                rel.effective_interval(&seq.instances()[ti as usize])
+                K::interval(&seq.instances()[ti as usize])
                     // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
                     .expect("bound instances pass the boundary policy")
             };
             let last_key =
                 // lint: allow(panic, structural invariant: the binding is non-empty on this path)
-                rel.effective_key(&seq.instances()[*tuple.last().expect("non-empty") as usize]);
+                K::key(&seq.instances()[*tuple.last().expect("non-empty") as usize]);
             let first_start = bound_iv(tuple[0]).start;
             let tuple_max_end = tuple
                 .iter()
@@ -270,15 +314,15 @@ pub(crate) fn extend_node(
                 .max()
                 // lint: allow(panic, structural invariant: the binding is non-empty on this path)
                 .expect("non-empty");
-            for &xi in index.instances_in(*seq_id as usize, ek) {
+            for &xi in index.instances_in(seq_id as usize, ek) {
                 let x = &seq.instances()[xi as usize];
-                let Some(x_iv) = rel.effective_interval(x) else {
+                let Some(x_iv) = K::interval(x) else {
                     continue;
                 };
                 // The new instance must be chronologically last so each
                 // occurrence is enumerated exactly once (Lemma 4 adds the
                 // new instance at the end of the sequence order).
-                if rel.effective_key(x) <= last_key {
+                if K::key(x) <= last_key {
                     continue;
                 }
                 stats.instance_checks += 1;
@@ -314,12 +358,9 @@ pub(crate) fn extend_node(
                 }
                 let entry = accum
                     .entry(code)
-                    .or_insert_with(|| (Bitmap::new(n_seqs), Vec::new()));
-                entry.0.set(*seq_id as usize);
-                let mut new_tuple = Vec::with_capacity(tuple.len() + 1);
-                new_tuple.extend_from_slice(tuple);
-                new_tuple.push(xi);
-                entry.1.push((*seq_id, new_tuple));
+                    .or_insert_with(|| (Bitmap::new(n_seqs), OccArena::new(width)));
+                entry.0.set(seq_id as usize);
+                entry.1.push_extend(seq_id, tuple, xi);
             }
         }
         for (code, (bitmap, occurrences)) in accum {
@@ -330,11 +371,12 @@ pub(crate) fn extend_node(
                 continue;
             };
             let rels = decode_column(code, node.events.len());
+            let all = occurrences.since(0);
             new_patterns.push(WorkPattern {
                 pattern: parent.pattern.extend(ek, &rels),
                 support,
                 confidence,
-                occurrences,
+                occurrences: child_occs.append_from(&occurrences, all),
             });
         }
     }
@@ -350,6 +392,7 @@ pub(crate) fn extend_node(
         bitmap: joint.clone(),
         support: joint_supp,
         patterns: new_patterns,
+        occs: child_occs,
     })
 }
 
@@ -362,7 +405,7 @@ pub(crate) fn extend_node(
 /// semantically identical for the exchange's bit-identical-output
 /// guarantee. `stats` must already have level slots up to `k - 1`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn grow_candidates(
+pub(crate) fn grow_candidates<K: BoundaryKernel>(
     db: &SequenceDatabase,
     index: &DatabaseIndex,
     cfg: &MinerConfig,
@@ -373,12 +416,12 @@ pub(crate) fn grow_candidates(
     sigma_abs: usize,
     k: usize,
 ) -> Vec<WorkNode> {
-    let mut children: Vec<WorkNode> = Vec::new();
+    // Phase 1 — per-node Lemma 5 screen: every node event must form at
+    // least one frequent relation with ek, or no k-event pattern over
+    // this combination can be frequent.
+    let mut cands: Vec<EventId> = Vec::with_capacity(freq_events.len());
     'candidates: for &ek in freq_events {
         if cfg.pruning.transitivity {
-            // Per-node Lemma 5: every node event must form at least
-            // one frequent relation with ek, or no k-event pattern
-            // over this combination can be frequent.
             for &e in &node.events {
                 if !pair_relations.any(e, ek) {
                     stats.transitivity_pruned += 1;
@@ -386,9 +429,20 @@ pub(crate) fn grow_candidates(
                 }
             }
         }
-        // Fused AND+popcount gates the candidate before the joint
-        // bitmap is allocated — pruned candidates never pay for it.
-        let joint_supp = node.bitmap.and_count(index.bitmap(ek));
+        cands.push(ek);
+    }
+
+    // Phase 2 — fused AND+popcount over all survivors in one pass
+    // ([`Bitmap::and_count_many`] re-reads the node bitmap once per
+    // 32-word block instead of once per candidate). Pruned candidates
+    // never pay for a joint-bitmap allocation.
+    let partners: Vec<&Bitmap> = cands.iter().map(|&ek| index.bitmap(ek)).collect();
+    let mut joint_supps: Vec<usize> = Vec::new();
+    node.bitmap.and_count_many(&partners, &mut joint_supps);
+
+    // Phase 3 — Apriori gate + instance verification per survivor.
+    let mut children: Vec<WorkNode> = Vec::new();
+    for (&ek, &joint_supp) in cands.iter().zip(&joint_supps) {
         let max_supp = node
             .events
             .iter()
@@ -402,7 +456,7 @@ pub(crate) fn grow_candidates(
         }
         let joint = node.bitmap.and(index.bitmap(ek));
         stats.nodes_verified[k - 2] += 1;
-        if let Some(child) = extend_node(
+        if let Some(child) = extend_node::<K>(
             db,
             index,
             cfg,
@@ -424,7 +478,7 @@ pub(crate) fn grow_candidates(
 }
 
 /// Depth-first growth of the Hierarchical Pattern Graph below L2.
-pub(crate) struct GrowContext<'a> {
+pub(crate) struct GrowContext<'a, K: BoundaryKernel> {
     pub(crate) db: &'a SequenceDatabase,
     pub(crate) cfg: &'a MinerConfig,
     pub(crate) index: &'a DatabaseIndex,
@@ -441,9 +495,11 @@ pub(crate) struct GrowContext<'a> {
     /// Shard ownership mask (see [`mine_internal`]); `None` outside
     /// sharded runs.
     pub(crate) owned: Option<&'a [bool]>,
+    /// The monomorphized boundary kernel (fixed at dispatch).
+    pub(crate) kernel: PhantomData<K>,
 }
 
-impl GrowContext<'_> {
+impl<K: BoundaryKernel> GrowContext<'_, K> {
     /// Archives `node` (level `k − 1` in event count) and tries every
     /// candidate last event for level `k`. The node's occurrence
     /// bindings die when this frame returns.
@@ -457,7 +513,7 @@ impl GrowContext<'_> {
             self.stats.nodes_kept.push(0);
             self.stats.patterns_found.push(0);
         }
-        let children = grow_candidates(
+        let children = grow_candidates::<K>(
             self.db,
             self.index,
             self.cfg,
@@ -500,20 +556,28 @@ pub(crate) fn archive_node(
     k: usize,
 ) {
     let n_seqs = db.len();
-    let patterns: Vec<FrequentPattern> = node
-        .patterns
+    let WorkNode {
+        events,
+        bitmap: _,
+        support: node_support,
+        patterns,
+        occs,
+    } = node;
+    let count_clipped = |oi: usize| {
+        let insts = db.sequences()[occs.seq(oi) as usize].instances();
+        occs.tuple(oi)
+            .iter()
+            .any(|&ti| insts[ti as usize].is_clipped())
+    };
+    let patterns: Vec<FrequentPattern> = patterns
         .into_iter()
         .filter_map(|wp| {
-            let count_clipped = |(seq_id, tuple): &(u32, Vec<u32>)| {
-                let insts = db.sequences()[*seq_id as usize].instances();
-                tuple.iter().any(|&ti| insts[ti as usize].is_clipped())
-            };
             let (support, rel_support, clipped_occurrences) = match owned {
                 None => {
                     let clipped = if !db_has_clipped {
                         0
                     } else {
-                        wp.occurrences.iter().filter(|occ| count_clipped(occ)).count()
+                        wp.occurrences.iter().filter(|&oi| count_clipped(oi)).count()
                     };
                     (
                         wp.support,
@@ -528,15 +592,16 @@ pub(crate) fn archive_node(
                     let mut support = 0usize;
                     let mut clipped = 0usize;
                     let mut last_seq: Option<u32> = None;
-                    for occ in &wp.occurrences {
-                        if !mask[occ.0 as usize] {
+                    for oi in wp.occurrences.iter() {
+                        let seq_id = occs.seq(oi);
+                        if !mask[seq_id as usize] {
                             continue;
                         }
-                        if last_seq != Some(occ.0) {
+                        if last_seq != Some(seq_id) {
                             support += 1;
-                            last_seq = Some(occ.0);
+                            last_seq = Some(seq_id);
                         }
-                        if db_has_clipped && count_clipped(occ) {
+                        if db_has_clipped && count_clipped(oi) {
                             clipped += 1;
                         }
                     }
@@ -558,7 +623,7 @@ pub(crate) fn archive_node(
     if owned.is_some() && patterns.is_empty() {
         return;
     }
-    sink.node(node.events, node.support, k, patterns);
+    sink.node(events, node_support, k, patterns);
 }
 
 #[cfg(test)]

@@ -40,15 +40,17 @@
 //! triples and broadcasts survivor sets.
 
 use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
-use ftpm_events::{BoundaryPolicy, EventId};
+use ftpm_events::{BoundaryKernel, BoundaryPolicy, BoundaryVisit, EventId};
 
 use crate::candidates::{L2Engine, PairRelations, WorkNode, CONF_EPS};
 use crate::config::MinerConfig;
 use crate::exact::{grow_candidates, MAX_EVENTS_HARD_CAP};
 use crate::index::DatabaseIndex;
 use crate::merge::{merge_stats, ShardMerge};
+use crate::occ::OccRange;
 use crate::parallel::{par_for_each, par_map};
 use crate::pattern::Pattern;
 use crate::result::MiningStats;
@@ -83,7 +85,7 @@ type OwnedStats = (usize, usize);
 /// two protocol questions — [`propose`](ShardWorker::propose_l2) ("what
 /// do you see?") and [`recount`](ShardWorker::recount) ("how often do
 /// you see these?") — as independent calls.
-pub(crate) struct ShardWorker<'a> {
+pub(crate) struct ShardWorker<'a, K: BoundaryKernel> {
     shard: &'a Shard,
     /// Support-complete local config: global relation model and pruning
     /// switches, but `σ`/`δ` ≈ 0 — only the coordinator may threshold.
@@ -113,9 +115,11 @@ pub(crate) struct ShardWorker<'a> {
     proposed_total: usize,
     pruned_total: usize,
     wall: Duration,
+    /// The monomorphized boundary kernel (fixed at dispatch).
+    kernel: PhantomData<K>,
 }
 
-impl<'a> ShardWorker<'a> {
+impl<'a, K: BoundaryKernel> ShardWorker<'a, K> {
     fn new(shard: &'a Shard, cfg: &MinerConfig, threads: usize) -> Self {
         ShardWorker {
             shard,
@@ -136,6 +140,7 @@ impl<'a> ShardWorker<'a> {
             proposed_total: 0,
             pruned_total: 0,
             wall: Duration::ZERO,
+            kernel: PhantomData,
         }
     }
 
@@ -183,11 +188,12 @@ impl<'a> ShardWorker<'a> {
             .iter()
             .flat_map(|&ei| local.iter().map(move |&ej| (ei, ej)))
             .collect();
-        let engine = L2Engine {
+        let engine = L2Engine::<K> {
             db: &self.shard.db,
             index,
             cfg: &self.local_cfg,
             sigma_abs: 1,
+            kernel: PhantomData,
         };
         // Chunked by index range over the shared pair list (no per-chunk
         // copies) so the scoped workers amortize their bookkeeping.
@@ -236,7 +242,7 @@ impl<'a> ShardWorker<'a> {
             // The exact same extension loop as the unsharded miner —
             // local σ_abs = 1 gates only empty joints, and the Lemma 5
             // table is the *global* one the coordinator broadcast.
-            let children = grow_candidates(
+            let children = grow_candidates::<K>(
                 db,
                 index,
                 cfg,
@@ -268,9 +274,12 @@ impl<'a> ShardWorker<'a> {
                     let seqs = self.shard.db.sequences();
                     wp.occurrences
                         .iter()
-                        .filter(|(seq_id, tuple)| {
-                            let insts = seqs[*seq_id as usize].instances();
-                            tuple.iter().any(|&ti| insts[ti as usize].is_clipped())
+                        .filter(|&oi| {
+                            let insts = seqs[node.occs.seq(oi) as usize].instances();
+                            node.occs
+                                .tuple(oi)
+                                .iter()
+                                .any(|&ti| insts[ti as usize].is_clipped())
                         })
                         .count()
                 } else {
@@ -303,6 +312,15 @@ impl<'a> ShardWorker<'a> {
         let before: usize = self.level.iter().map(|n| n.patterns.len()).sum();
         for node in &mut self.level {
             node.patterns.retain(|wp| survivors.contains(&wp.pattern));
+            // Drop the losers' occurrence bindings: patterns hold
+            // ascending disjoint arena ranges, so releasing them is one
+            // compaction sweep over the node's flat columns.
+            let mut kept: Vec<OccRange> =
+                node.patterns.iter().map(|wp| wp.occurrences).collect();
+            node.occs.compact(&mut kept);
+            for (wp, range) in node.patterns.iter_mut().zip(kept) {
+                wp.occurrences = range;
+            }
         }
         self.level.retain(|n| !n.patterns.is_empty());
         let after: usize = self.level.iter().map(|n| n.patterns.len()).sum();
@@ -313,13 +331,13 @@ impl<'a> ShardWorker<'a> {
 /// Runs one stage on every worker, shards concurrent up to `outer`
 /// threads, accumulating per-shard wall time. With `sched` set, shard
 /// claims go through the seeded sequencer (see [`crate::schedule`]).
-fn run_round<'a, F>(
-    workers: &mut [ShardWorker<'a>],
+fn run_round<'a, K: BoundaryKernel, F>(
+    workers: &mut [ShardWorker<'a, K>],
     outer: usize,
     sched: Option<&crate::schedule::SimCtl>,
     f: F,
 ) where
-    F: Fn(&mut ShardWorker<'a>) + Sync,
+    F: Fn(&mut ShardWorker<'a, K>) + Sync,
 {
     par_for_each(workers, outer, sched, |_, worker| {
         let started = Instant::now();
@@ -330,8 +348,8 @@ fn run_round<'a, F>(
 
 /// Sums the workers' proposals, applies the global σ/δ gate, folds the
 /// survivors into the merge accumulator, and returns the survivor set.
-fn gate_round(
-    workers: &[ShardWorker<'_>],
+fn gate_round<K: BoundaryKernel>(
+    workers: &[ShardWorker<'_, K>],
     event_supports: &[usize],
     sigma_abs: usize,
     delta: f64,
@@ -369,7 +387,10 @@ fn gate_round(
 /// Debug cross-check of the exchange protocol: recounting each survivor
 /// against every shard must find its owned support somewhere — i.e. the
 /// propose and recount answers agree as independent calls.
-fn debug_assert_recount(workers: &[ShardWorker<'_>], survivors: &HashSet<Pattern>) {
+fn debug_assert_recount<K: BoundaryKernel>(
+    workers: &[ShardWorker<'_, K>],
+    survivors: &HashSet<Pattern>,
+) {
     if cfg!(debug_assertions) {
         for candidate in survivors {
             let total: usize = workers
@@ -386,6 +407,38 @@ fn debug_assert_recount(workers: &[ShardWorker<'_>], survivors: &HashSet<Pattern
 /// [`ShardMerge`] confidence/emission pass into `sink`. Returns the
 /// merged run statistics and one [`ShardReport`] per shard.
 pub(crate) fn mine_exchange_internal(
+    plan: &ShardPlan,
+    cfg: &MinerConfig,
+    threads: usize,
+    sink: &mut dyn PatternSink,
+    sched: Option<&crate::schedule::SimCtl>,
+) -> (MiningStats, Vec<ShardReport>) {
+    // Monomorphization seam: fix the boundary kernel once per run (the
+    // same dispatch point discipline as `exact::mine_internal`).
+    struct Run<'a, 'b> {
+        plan: &'a ShardPlan,
+        cfg: &'a MinerConfig,
+        threads: usize,
+        sink: &'a mut dyn PatternSink,
+        sched: Option<&'b crate::schedule::SimCtl>,
+    }
+    impl BoundaryVisit for Run<'_, '_> {
+        type Out = (MiningStats, Vec<ShardReport>);
+        fn visit<K: BoundaryKernel>(self) -> Self::Out {
+            mine_exchange_internal_k::<K>(self.plan, self.cfg, self.threads, self.sink, self.sched)
+        }
+    }
+    cfg.relation.boundary.dispatch(Run {
+        plan,
+        cfg,
+        threads,
+        sink,
+        sched,
+    })
+}
+
+/// [`mine_exchange_internal`], monomorphized over the boundary kernel.
+fn mine_exchange_internal_k<K: BoundaryKernel>(
     plan: &ShardPlan,
     cfg: &MinerConfig,
     threads: usize,
@@ -413,7 +466,7 @@ pub(crate) fn mine_exchange_internal(
     } else {
         (threads / n_shards).max(1)
     };
-    let mut workers: Vec<ShardWorker<'_>> = shards
+    let mut workers: Vec<ShardWorker<'_, K>> = shards
         .iter()
         .map(|shard| ShardWorker::new(shard, cfg, inner))
         .collect();

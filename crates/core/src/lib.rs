@@ -59,6 +59,7 @@ mod executor;
 mod hpg;
 mod index;
 mod merge;
+mod occ;
 mod parallel;
 mod pattern;
 mod postprocess;

@@ -22,11 +22,12 @@
 //! being propagated at the join; cascading a second one out of a
 //! poisoned `Mutex` would only mask it.
 
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::thread::ScopedJoinHandle;
 
-use ftpm_events::{EventId, SequenceDatabase};
+use ftpm_events::{BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase};
 
 use crate::candidates::{L2Engine, PairRelations, WorkNode};
 use crate::config::MinerConfig;
@@ -124,6 +125,48 @@ pub(crate) fn mine_parallel_internal(
     if n_threads == 1 {
         return crate::exact::mine_internal(db, cfg, None, owned, sink);
     }
+    // Monomorphization seam: fix the boundary kernel once per run (the
+    // same dispatch point discipline as `exact::mine_internal`).
+    struct Run<'a, 'b> {
+        db: &'a SequenceDatabase,
+        cfg: &'a MinerConfig,
+        n_threads: usize,
+        owned: Option<&'a [bool]>,
+        sink: &'a mut (dyn PatternSink + Send),
+        sched: Option<&'b SimCtl>,
+    }
+    impl BoundaryVisit for Run<'_, '_> {
+        type Out = MiningStats;
+        fn visit<K: BoundaryKernel>(self) -> MiningStats {
+            mine_parallel_internal_k::<K>(
+                self.db,
+                self.cfg,
+                self.n_threads,
+                self.owned,
+                self.sink,
+                self.sched,
+            )
+        }
+    }
+    cfg.relation.boundary.dispatch(Run {
+        db,
+        cfg,
+        n_threads,
+        owned,
+        sink,
+        sched,
+    })
+}
+
+/// [`mine_parallel_internal`], monomorphized over the boundary kernel.
+fn mine_parallel_internal_k<K: BoundaryKernel>(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    n_threads: usize,
+    owned: Option<&[bool]>,
+    sink: &mut (dyn PatternSink + Send),
+    sched: Option<&SimCtl>,
+) -> MiningStats {
     let sigma_abs = cfg.absolute_support(db.len());
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
     let index = DatabaseIndex::build_masked(db, cfg.relation.boundary, owned);
@@ -141,11 +184,12 @@ pub(crate) fn mine_parallel_internal(
     sink.begin(&l1);
 
     // ---- L2, sharded over candidate pairs ----
-    let engine = L2Engine {
+    let engine = L2Engine::<K> {
         db,
         index: &index,
         cfg,
         sigma_abs,
+        kernel: PhantomData,
     };
     let pairs: Vec<(EventId, EventId)> = freq_events
         .iter()
@@ -249,7 +293,7 @@ pub(crate) fn mine_parallel_internal(
                             .take()
                             // lint: allow(panic, structural invariant: the atomic counter hands each slot index out once)
                             .expect("each node taken once");
-                        let mut grow = GrowContext {
+                        let mut grow = GrowContext::<K> {
                             db,
                             cfg,
                             index,
@@ -261,6 +305,7 @@ pub(crate) fn mine_parallel_internal(
                             sink: &mut worker_sink,
                             db_has_clipped,
                             owned,
+                            kernel: PhantomData,
                         };
                         grow.grow_node(node, 3);
                     }

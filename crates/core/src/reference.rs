@@ -10,7 +10,9 @@
 use std::collections::HashMap;
 
 use ftpm_bitmap::Bitmap;
-use ftpm_events::{SequenceDatabase, TemporalRelation};
+use ftpm_events::{
+    BoundaryKernel, BoundaryVisit, SequenceDatabase, TemporalRelation,
+};
 
 use crate::config::MinerConfig;
 use crate::hpg::HierarchicalPatternGraph;
@@ -25,6 +27,23 @@ use crate::result::{FrequentPattern, MiningResult, MiningStats};
 /// orders of magnitude slower. Cap the pattern length with
 /// [`MinerConfig::with_max_events`] on all but trivial inputs.
 pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+    // Monomorphization seam: fix the boundary kernel once per run (the
+    // same dispatch point discipline as `exact::mine_internal`).
+    struct Run<'a> {
+        db: &'a SequenceDatabase,
+        cfg: &'a MinerConfig,
+    }
+    impl BoundaryVisit for Run<'_> {
+        type Out = MiningResult;
+        fn visit<K: BoundaryKernel>(self) -> MiningResult {
+            mine_reference_k::<K>(self.db, self.cfg)
+        }
+    }
+    cfg.relation.boundary.dispatch(Run { db, cfg })
+}
+
+/// [`mine_reference`], monomorphized over the boundary kernel.
+fn mine_reference_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
     let index = DatabaseIndex::build_with_policy(db, cfg.relation.boundary);
@@ -40,11 +59,11 @@ pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult 
         let mut tuple: Vec<usize> = Vec::new();
         let mut rels: Vec<TemporalRelation> = Vec::new();
         for start in 0..insts.len() {
-            if cfg.relation.effective_interval(&insts[start]).is_none() {
+            if K::interval(&insts[start]).is_none() {
                 continue; // discarded by the boundary policy
             }
             tuple.push(start);
-            dfs(
+            dfs::<K>(
                 db,
                 cfg,
                 seq_id,
@@ -117,7 +136,7 @@ struct PatternAccum {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dfs(
+fn dfs<K: BoundaryKernel>(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     seq_id: usize,
@@ -149,7 +168,7 @@ fn dfs(
     }
     // Tuple members passed the boundary policy when they were pushed.
     let bound_iv = |i: usize| {
-        rel.effective_interval(&insts[i])
+        K::interval(&insts[i])
             // lint: allow(panic, structural invariant: binding members passed the boundary policy on entry)
             .expect("bound instances pass the boundary policy")
     };
@@ -161,13 +180,13 @@ fn dfs(
         // lint: allow(panic, structural invariant: the binding is non-empty on this path)
         .expect("non-empty");
     // lint: allow(panic, structural invariant: the binding is non-empty on this path)
-    let last_key = rel.effective_key(&insts[*tuple.last().expect("non-empty")]);
+    let last_key = K::key(&insts[*tuple.last().expect("non-empty")]);
 
     for (next, x) in insts.iter().enumerate().take(n_insts) {
-        let Some(x_iv) = rel.effective_interval(x) else {
+        let Some(x_iv) = K::interval(x) else {
             continue;
         };
-        if rel.effective_key(x) <= last_key {
+        if K::key(x) <= last_key {
             continue;
         }
         if !rel.within_t_max(first_start, tuple_max_end.max(x_iv.end)) {
@@ -190,7 +209,7 @@ fn dfs(
         let depth = rels.len();
         rels.extend_from_slice(&new_rels);
         tuple.push(next);
-        dfs(db, cfg, seq_id, n_insts, tuple, rels, support, _sigma_abs);
+        dfs::<K>(db, cfg, seq_id, n_insts, tuple, rels, support, _sigma_abs);
         tuple.pop();
         rels.truncate(depth);
     }

@@ -38,6 +38,9 @@ mod split;
 
 pub use event::{EventId, EventRegistry};
 pub use instance::{EventInstance, Interval, InvalidInterval};
-pub use relation::{BoundaryPolicy, RelationConfig, TemporalRelation};
+pub use relation::{
+    BoundaryKernel, BoundaryPolicy, BoundaryVisit, ClipKernel, DiscardKernel, RelationConfig,
+    TemporalRelation, TrueExtentKernel,
+};
 pub use sequence::{SequenceDatabase, TemporalSequence};
 pub use split::{to_sequence_database, ShardSpan, SplitConfig};

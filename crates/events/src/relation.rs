@@ -91,6 +91,106 @@ impl BoundaryPolicy {
             BoundaryPolicy::Discard => "discard",
         }
     }
+
+    /// Monomorphization seam: maps the runtime policy to its
+    /// compile-time [`BoundaryKernel`] type and runs `visitor` under it.
+    ///
+    /// This is the *only* place a policy value is turned into a kernel
+    /// type — miners call it once per run at their entry point, and
+    /// every per-instance decision below that point compiles to the
+    /// straight-line code of the chosen kernel instead of re-matching
+    /// on the policy inside the hot verification loops.
+    pub fn dispatch<V: BoundaryVisit>(self, visitor: V) -> V::Out {
+        match self {
+            BoundaryPolicy::Clip => visitor.visit::<ClipKernel>(),
+            BoundaryPolicy::TrueExtent => visitor.visit::<TrueExtentKernel>(),
+            BoundaryPolicy::Discard => visitor.visit::<DiscardKernel>(),
+        }
+    }
+}
+
+/// A computation generic over the boundary kernel, for use with
+/// [`BoundaryPolicy::dispatch`]. (A plain closure cannot be generic over
+/// a type parameter, so dispatch takes a visitor object instead.)
+pub trait BoundaryVisit {
+    /// Result of the computation.
+    type Out;
+    /// Runs the computation with `K` fixed at compile time.
+    fn visit<K: BoundaryKernel>(self) -> Self::Out;
+}
+
+/// Compile-time form of one [`BoundaryPolicy`] variant: the two
+/// per-instance decisions of the verification hot loops — which interval
+/// an instance exposes and how instances are ordered — as associated
+/// functions that monomorphize to branch-free straight-line code.
+///
+/// The zero-sized kernel types ([`ClipKernel`], [`TrueExtentKernel`],
+/// [`DiscardKernel`]) mirror [`RelationConfig::effective_interval`] and
+/// [`RelationConfig::effective_key`] exactly; a property test pins the
+/// agreement.
+pub trait BoundaryKernel: Copy + Default + Send + Sync + 'static {
+    /// The policy this kernel compiles.
+    const POLICY: BoundaryPolicy;
+
+    /// [`RelationConfig::effective_interval`] for this policy.
+    fn interval(inst: &EventInstance) -> Option<Interval>;
+
+    /// [`RelationConfig::effective_key`] for this policy.
+    fn key(inst: &EventInstance) -> (i64, i64, EventId);
+}
+
+/// [`BoundaryPolicy::Clip`] as a kernel: the window-clipped view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClipKernel;
+
+impl BoundaryKernel for ClipKernel {
+    const POLICY: BoundaryPolicy = BoundaryPolicy::Clip;
+
+    #[inline(always)]
+    fn interval(inst: &EventInstance) -> Option<Interval> {
+        Some(inst.interval)
+    }
+
+    #[inline(always)]
+    fn key(inst: &EventInstance) -> (i64, i64, EventId) {
+        inst.chrono_key()
+    }
+}
+
+/// [`BoundaryPolicy::TrueExtent`] as a kernel: the full run extent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrueExtentKernel;
+
+impl BoundaryKernel for TrueExtentKernel {
+    const POLICY: BoundaryPolicy = BoundaryPolicy::TrueExtent;
+
+    #[inline(always)]
+    fn interval(inst: &EventInstance) -> Option<Interval> {
+        Some(inst.extent)
+    }
+
+    #[inline(always)]
+    fn key(inst: &EventInstance) -> (i64, i64, EventId) {
+        inst.extent_key()
+    }
+}
+
+/// [`BoundaryPolicy::Discard`] as a kernel: clipped instances vanish.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardKernel;
+
+impl BoundaryKernel for DiscardKernel {
+    const POLICY: BoundaryPolicy = BoundaryPolicy::Discard;
+
+    #[inline(always)]
+    fn interval(inst: &EventInstance) -> Option<Interval> {
+        (!inst.is_clipped()).then_some(inst.interval)
+    }
+
+    #[inline(always)]
+    fn key(inst: &EventInstance) -> (i64, i64, EventId) {
+        inst.chrono_key()
+    }
 }
 
 impl std::fmt::Display for BoundaryPolicy {
@@ -390,7 +490,54 @@ mod tests {
         assert_eq!(discard.effective_interval(&clean), Some(clean.interval));
     }
 
+    #[test]
+    fn dispatch_selects_matching_kernel() {
+        struct PolicyOf;
+        impl BoundaryVisit for PolicyOf {
+            type Out = BoundaryPolicy;
+            fn visit<K: BoundaryKernel>(self) -> BoundaryPolicy {
+                K::POLICY
+            }
+        }
+        for policy in [
+            BoundaryPolicy::Clip,
+            BoundaryPolicy::TrueExtent,
+            BoundaryPolicy::Discard,
+        ] {
+            assert_eq!(policy.dispatch(PolicyOf), policy);
+        }
+    }
+
     proptest! {
+        /// Each kernel agrees with the runtime-branching
+        /// `effective_interval`/`effective_key` pair it compiles.
+        #[test]
+        fn prop_kernels_match_effective_fns(
+            s in 0i64..500, d in 1i64..60,
+            pad_l in 0i64..10, pad_r in 0i64..10,
+        ) {
+            let iv = Interval::new(s, s + d);
+            let ext = Interval::new(s - pad_l, s + d + pad_r);
+            let inst = EventInstance::with_extent(EventId(3), iv, ext);
+
+            struct Check<'a>(&'a EventInstance);
+            impl BoundaryVisit for Check<'_> {
+                type Out = ();
+                fn visit<K: BoundaryKernel>(self) {
+                    let cfg = RelationConfig::default().with_boundary(K::POLICY);
+                    assert_eq!(K::interval(self.0), cfg.effective_interval(self.0));
+                    assert_eq!(K::key(self.0), cfg.effective_key(self.0));
+                }
+            }
+            for policy in [
+                BoundaryPolicy::Clip,
+                BoundaryPolicy::TrueExtent,
+                BoundaryPolicy::Discard,
+            ] {
+                policy.dispatch(Check(&inst));
+            }
+        }
+
         /// With the default config the relation is total for instance pairs
         /// with distinct start times — the "completeness" the paper claims
         /// for its simplified model.
