@@ -29,6 +29,14 @@
 //!   discarded: no `let _ = …write…` statements and no `.ok();` on a
 //!   write-family call. Writer sinks latch errors for
 //!   `PatternSink::finish`; everything else must propagate.
+//! * **R6 `filter-confinement`** — `CorrelationFilter` may only be
+//!   constructed (`CorrelationFilter::new(..)` or a struct literal) in
+//!   `crates/core/src/candidates.rs` (the definition),
+//!   `crates/core/src/approx.rs` (the single construction seam) and
+//!   `crates/core/src/executor.rs` (the exchange coordinator). The
+//!   one-plan equivalence — every A-HTPGM composition yields the same
+//!   pattern set — rests on every path consuming the *same* L1/L2
+//!   gates; a filter assembled anywhere else can silently disagree.
 //!
 //! Suppression marker grammar (matched per line, same line or the line
 //! directly above the flagged token):
@@ -38,8 +46,8 @@
 //! ```
 //!
 //! where `<rule>` is one of `and_count`, `panic`, `boundary_match`,
-//! `unsafe`, `write_discard`. The reason is mandatory — a bare allow
-//! does not suppress.
+//! `unsafe`, `write_discard`, `filter_confinement`. The reason is
+//! mandatory — a bare allow does not suppress.
 
 use crate::lexer::{lex, Lexed, TokenKind};
 use crate::report::Violation;
@@ -244,7 +252,63 @@ pub fn check_source(src: &str, ctx: &FileContext) -> Vec<Violation> {
     rule_boundary_match(src, &lexed, ctx, &allows, &mut out);
     rule_unsafe(src, &lexed, ctx, &allows, &mut out);
     rule_write_discard(src, &lexed, ctx, &allows, &mut out);
+    rule_filter_confinement(src, &lexed, ctx, &allows, &in_test, &mut out);
     out
+}
+
+/// Files allowed to construct a `CorrelationFilter` under R6: the
+/// definition, the one construction seam, and the exchange coordinator.
+const FILTER_CONSTRUCTION_FILES: &[&str] = &[
+    "crates/core/src/candidates.rs",
+    "crates/core/src/approx.rs",
+    "crates/core/src/executor.rs",
+];
+
+/// R6: `CorrelationFilter` construction — `CorrelationFilter::new(..)`
+/// or a `CorrelationFilter { .. }` struct literal — outside the allowed
+/// files and test code. Type mentions (`&CorrelationFilter<'_>`,
+/// `struct CorrelationFilter`) are fine everywhere: consuming the filter
+/// is the point, assembling a second one is the bug.
+fn rule_filter_confinement(
+    src: &str,
+    lexed: &Lexed,
+    ctx: &FileContext,
+    allows: &[Allow],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if FILTER_CONSTRUCTION_FILES.contains(&ctx.rel_path.as_str()) || ctx.is_test_file {
+        return;
+    }
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if !lexed.is_ident(src, i, "CorrelationFilter") || in_test(tok.start) {
+            continue;
+        }
+        // A declaration (`struct CorrelationFilter …`) is not a
+        // construction site.
+        if i > 0 && lexed.is_ident(src, i - 1, "struct") {
+            continue;
+        }
+        let constructs = (lexed.is_punct(src, i + 1, "::")
+            && lexed.is_ident(src, i + 2, "new")
+            && lexed.is_punct(src, i + 3, "("))
+            || lexed.is_punct(src, i + 1, "{");
+        if !constructs {
+            continue;
+        }
+        let line = tok.line;
+        if !allowed(allows, "filter_confinement", line) {
+            out.push(Violation {
+                rule: "R6/filter_confinement".into(),
+                file: ctx.rel_path.clone(),
+                line,
+                message: "`CorrelationFilter` constructed outside the approx module / \
+                          exchange coordinator; build it via `correlation_filter` so \
+                          every A-HTPGM path consumes the same L1/L2 gates"
+                    .into(),
+            });
+        }
+    }
 }
 
 /// R1: `.and(..).count_ones()` outside the bitmap kernel module and test
@@ -768,6 +832,37 @@ mod tests {
                       // lint: allow(write_discard, fmt::Write to String is infallible)\n    \
                       let _ = write!(s, \"x\");\n}";
         assert!(check("crates/core/src/x.rs", marked).is_empty());
+    }
+
+    #[test]
+    fn r6_confines_filter_construction() {
+        let call = "fn f(g: &Graph) -> CorrelationFilter<'_> { CorrelationFilter::new(a, e) }";
+        let v = check("crates/core/src/shard.rs", call);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R6/filter_confinement");
+        // Struct literals are constructions too.
+        let literal = "let f = CorrelationFilter { allowed, edge };";
+        assert_eq!(check("crates/ftpm/src/lib.rs", literal).len(), 1);
+        // The definition, the approx seam and the exchange coordinator
+        // are the allowed homes.
+        assert!(check("crates/core/src/candidates.rs", call).is_empty());
+        assert!(check("crates/core/src/approx.rs", call).is_empty());
+        assert!(check("crates/core/src/executor.rs", call).is_empty());
+        // Test files and test regions may assemble fixtures.
+        assert!(check("crates/core/tests/approx.rs", call).is_empty());
+        let in_mod = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    \
+                      fn t() { let f = CorrelationFilter::new(a, e); }\n}";
+        assert!(check("crates/core/src/shard.rs", in_mod).is_empty());
+        // Consuming the filter — type positions, declarations — is fine
+        // everywhere.
+        let uses = "struct CorrelationFilter<'a> { x: u8 }\n\
+                    fn g(c: Option<&CorrelationFilter<'_>>) {}";
+        assert!(check("crates/core/src/shard.rs", uses).is_empty());
+        // Marker suppresses with a reason.
+        let marked = "fn f() {\n    \
+                      // lint: allow(filter_confinement, event-level gate shares the seam)\n    \
+                      let f = CorrelationFilter::new(a, e);\n}";
+        assert!(check("crates/core/src/shard.rs", marked).is_empty());
     }
 
     #[test]

@@ -880,6 +880,208 @@ pub fn exchange_pruning(opts: &Opts) -> bool {
     exchange_equal && exchange_prunes
 }
 
+/// A-HTPGM composition gate on the energy demo (beyond the paper;
+/// ROADMAP "One mining plan"): one correlation graph (density 0.8),
+/// every execution composition — parallel, sharded support-complete,
+/// sharded candidate-exchange, threads × shards — must reproduce the
+/// unsharded single-threaded `mine_approximate` pattern set exactly,
+/// and MI-at-propose must generate strictly fewer exchange candidates
+/// than the exact exchange it post-hoc-filters to. Writes
+/// `results/approx_composition.{csv,json}` and returns whether both the
+/// equality and the pruning held (the CI gate).
+pub fn approx_composition(opts: &Opts) -> bool {
+    use std::collections::HashMap;
+
+    use ftpm_core::{mine_approximate_parallel, ShardPlanner};
+    use ftpm_events::{BoundaryPolicy, EventRegistry, RelationConfig};
+    use ftpm_mi::CorrelationGraph;
+
+    const DENSITY: f64 = 0.8;
+    let data = nist_like(opts.scale).project_variables(8);
+    let t_max = 3 * 60;
+    let cfg = MinerConfig::new(0.25, 0.25)
+        .with_max_events(opts.max_events)
+        .with_relation(
+            RelationConfig::new(0, 1, t_max).with_boundary(BoundaryPolicy::TrueExtent),
+        );
+    println!(
+        "A-HTPGM composition: {} ({} windows, {}, density {DENSITY}, t_max {t_max}, scale {})\n",
+        data.name,
+        data.seq.len(),
+        data.split,
+        opts.scale
+    );
+
+    let labelled = |result: &ftpm_core::MiningResult, registry: &EventRegistry| {
+        result
+            .patterns
+            .iter()
+            .map(|p| {
+                (
+                    p.pattern.display(registry).to_string(),
+                    (p.support, p.confidence, p.clipped_occurrences),
+                )
+            })
+            .collect::<HashMap<String, (usize, f64, usize)>>()
+    };
+
+    // The baseline the acceptance contract names: unsharded,
+    // single-threaded A-HTPGM via the density parameterization.
+    let (base, base_secs) =
+        time(|| mine_approximate_with_density(&data.syb, &data.seq, DENSITY, &cfg));
+    let base_map = labelled(&base.result, data.seq.registry());
+
+    // The one graph every composition below shares — same μ as the
+    // baseline resolved to, asserted rather than assumed.
+    let graph = CorrelationGraph::build_with_density(&data.syb, DENSITY);
+    let mut approx_equal = (graph.mu() - base.mu).abs() < 1e-12;
+
+    let mut report = Report::new(
+        "approx_composition",
+        &[
+            "mode", "threads", "shards", "candidates", "patterns", "missing", "extra",
+            "seconds", "equal",
+        ],
+    );
+    report.row(vec![
+        "sequential".into(),
+        "1".into(),
+        "1".into(),
+        "-".into(),
+        base.result.len().to_string(),
+        "0".into(),
+        "0".into(),
+        secs(base_secs),
+        "true".into(),
+    ]);
+
+    let mut json_rows = Vec::new();
+    let mut check = |mode: &str,
+                     threads: usize,
+                     shards: usize,
+                     candidates: Option<usize>,
+                     result: &ftpm_core::MiningResult,
+                     registry: &EventRegistry,
+                     elapsed: std::time::Duration|
+     -> bool {
+        let map = labelled(result, registry);
+        let missing = base_map.keys().filter(|l| !map.contains_key(*l)).count();
+        let extra = map.keys().filter(|l| !base_map.contains_key(*l)).count();
+        let stat_mismatches = base_map
+            .iter()
+            .filter(|(label, (supp, conf, clipped))| {
+                map.get(*label).is_some_and(|(s, c, cl)| {
+                    s != supp || (c - conf).abs() >= 1e-9 || cl != clipped
+                })
+            })
+            .count();
+        let equal = missing == 0 && extra == 0 && stat_mismatches == 0;
+        report.row(vec![
+            mode.into(),
+            threads.to_string(),
+            shards.to_string(),
+            candidates.map_or("-".into(), |c| c.to_string()),
+            result.len().to_string(),
+            missing.to_string(),
+            extra.to_string(),
+            secs(elapsed),
+            equal.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"threads\": {threads}, \"shards\": {shards}, \
+             \"candidates_proposed\": {}, \"patterns\": {}, \"missing\": {missing}, \
+             \"extra\": {extra}, \"stat_mismatches\": {stat_mismatches}, \
+             \"equal\": {equal}, \"seconds\": {}}}",
+            candidates.map_or("null".into(), |c| c.to_string()),
+            result.len(),
+            elapsed.as_secs_f64(),
+        ));
+        equal
+    };
+
+    let (par, par_secs) =
+        time(|| mine_approximate_parallel(&data.syb, &data.seq, graph.mu(), &cfg, 4));
+    approx_equal &= check(
+        "parallel",
+        4,
+        1,
+        None,
+        &par.result,
+        data.seq.registry(),
+        par_secs,
+    );
+
+    let plan = ShardPlanner::new(4)
+        .plan(&data.syb, data.split, t_max)
+        .expect("valid shard geometry");
+    {
+        let mut sink = CollectSink::new();
+        let ((stats, reports), elapsed) =
+            time(|| plan.mine_approximate_into(&graph, &cfg, 4, &mut sink));
+        let result = sink.into_result(stats);
+        let candidates = reports.iter().map(|r| r.candidates_proposed).sum();
+        approx_equal &= check(
+            "sharded support-complete",
+            4,
+            plan.shards().len(),
+            Some(candidates),
+            &result,
+            plan.registry(),
+            elapsed,
+        );
+    }
+    let ((approx_result, approx_reports), elapsed) =
+        time(|| plan.mine_approximate_exchange(&graph, &cfg, 4));
+    let approx_candidates: usize =
+        approx_reports.iter().map(|r| r.candidates_proposed).sum();
+    approx_equal &= check(
+        "sharded exchange",
+        4,
+        plan.shards().len(),
+        Some(approx_candidates),
+        &approx_result,
+        plan.registry(),
+        elapsed,
+    );
+
+    // The pruning claim: the exact exchange on the same plan enumerates
+    // every pair MI would have rejected, so gating at propose time must
+    // come in strictly under it.
+    let ((_, exact_reports), _) = time(|| plan.mine_exchange(&cfg, 4));
+    let exact_candidates: usize = exact_reports.iter().map(|r| r.candidates_proposed).sum();
+    let propose_prunes = approx_candidates < exact_candidates;
+    println!(
+        "\nexchange candidates: {approx_candidates} with MI at propose time, \
+         {exact_candidates} exact (post-hoc baseline) — pruning {}",
+        if propose_prunes { "held" } else { "FAILED" }
+    );
+    report.finish();
+
+    // Machine-readable summary for the CI approx-composition gate.
+    let json = format!(
+        "{{\n  \"experiment\": \"approx_composition\",\n  \"dataset\": \"{}\",\n  \
+         \"windows\": {},\n  \"density\": {DENSITY},\n  \"mu\": {},\n  \
+         \"t_max\": {t_max},\n  \"boundary\": \"true-extent\",\n  \"scale\": {},\n  \
+         \"baseline_patterns\": {},\n  \
+         \"approx_exchange_candidates\": {approx_candidates},\n  \
+         \"exact_exchange_candidates\": {exact_candidates},\n  \
+         \"approx_equal\": {approx_equal},\n  \
+         \"propose_prunes\": {propose_prunes},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        data.name,
+        data.seq.len(),
+        graph.mu(),
+        opts.scale,
+        base.result.len(),
+        json_rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/approx_composition.json", json) {
+        Ok(()) => println!("wrote results/approx_composition.json"),
+        Err(e) => eprintln!("could not write results/approx_composition.json: {e}"),
+    }
+    approx_equal && propose_prunes
+}
+
 /// Hot-path kernel speedup (beyond the paper; ROADMAP "Kernelize the hot
 /// path"): times the block-unrolled CSA `Bitmap::and_count` kernel
 /// against the retained scalar reference (`and_count_scalar`) at

@@ -10,28 +10,83 @@
 //! correlated series has confidence at least `LB(σ, σ_m, n_x, μ)` in
 //! `D_SEQ`, so what A-HTPGM prunes is exactly the low-confidence tail
 //! (empirically: Fig 8).
+//!
+//! Since the one-plan refactor, A-HTPGM is not a separate code path but
+//! a [`CorrelationFilter`] handed to the shared miners: this module is
+//! the *only* place filters are constructed (lint rule R6), and every
+//! execution axis — sequential/parallel via
+//! [`mine_approximate_graph_with_sink`], sharded support-complete and
+//! candidate-exchange via [`crate::ShardPlan::mine_approximate_into`] /
+//! [`crate::ShardPlan::mine_approximate_exchange_into`] — consumes the
+//! identical gates, so every composition yields the same pattern set as
+//! plain [`mine_approximate`].
 
-use ftpm_events::SequenceDatabase;
+use ftpm_events::{EventRegistry, SequenceDatabase};
 use ftpm_mi::CorrelationGraph;
 use ftpm_timeseries::{SymbolicDatabase, VariableId};
 
+use crate::candidates::CorrelationFilter;
 use crate::config::MinerConfig;
-use crate::exact::{mine_internal, CorrelationFilter};
-use crate::result::MiningResult;
-use crate::sink::CollectSink;
+use crate::parallel::mine_parallel_internal;
+use crate::result::{MiningResult, MiningStats};
+use crate::sink::{CollectSink, PatternSink};
 
-/// Output of an approximate mining run: the mining result plus the
-/// correlation structures, so callers can inspect what was pruned.
+/// Output of an approximate mining run: what the run produced (a
+/// [`MiningResult`] for collecting entry points, bare [`MiningStats`]
+/// for sink-driven ones) plus the correlation structures, so callers can
+/// inspect what was pruned.
 #[derive(Debug)]
-pub struct ApproxOutcome {
-    /// The frequent temporal patterns found on the correlated subset.
-    pub result: MiningResult,
+pub struct ApproxOutcome<T = MiningResult> {
+    /// What the run produced on the correlated subset.
+    pub result: T,
     /// The MI threshold actually used.
     pub mu: f64,
     /// The correlation graph (Def 5.5).
     pub graph: CorrelationGraph,
     /// The correlated set `X_C` — variables with at least one edge.
     pub correlated: Vec<VariableId>,
+}
+
+/// Wraps a run's output with the correlation structures it was gated by.
+fn outcome<T>(result: T, graph: CorrelationGraph) -> ApproxOutcome<T> {
+    let mu = graph.mu();
+    let correlated = graph.correlated_variables();
+    ApproxOutcome {
+        result,
+        mu,
+        graph,
+        correlated,
+    }
+}
+
+/// Builds the variable-level A-HTPGM filter: L1 admits events whose
+/// series is in `X_C`, L2 admits pairs whose series share a `G_C` edge.
+///
+/// The single construction site for every variable-level approximate
+/// path (R6): the sequential/parallel miners get it from the entry
+/// points below, the exchange coordinator borrows one built here so
+/// shards never invent their own edge gate, and external callers (the
+/// reference oracle via [`crate::mine_reference_filtered`], tests) call
+/// this rather than assembling gates of their own. `registry` must come
+/// from the conversion of the database `graph` was built on (the shard
+/// planner's master registry qualifies — shard databases are remapped
+/// onto it before mining).
+pub fn correlation_filter<'a>(
+    graph: &'a CorrelationGraph,
+    registry: &'a EventRegistry,
+) -> CorrelationFilter<'a> {
+    let mut in_xc = vec![false; graph.n_vertices()];
+    for var in graph.correlated_variables() {
+        in_xc[var.0 as usize] = true;
+    }
+    let allowed: Vec<bool> = registry
+        .ids()
+        .map(|e| in_xc[registry.variable(e).0 as usize])
+        .collect();
+    CorrelationFilter::new(
+        allowed,
+        Box::new(move |ei, ej| graph.has_edge(registry.variable(ei), registry.variable(ej))),
+    )
 }
 
 /// Mines `seq_db` approximately with an explicit MI threshold `μ`
@@ -46,47 +101,7 @@ pub fn mine_approximate(
     mu: f64,
     cfg: &MinerConfig,
 ) -> ApproxOutcome {
-    mine_with_graph(syb, seq_db, CorrelationGraph::build(syb, mu), cfg)
-}
-
-fn mine_with_graph(
-    syb: &SymbolicDatabase,
-    seq_db: &SequenceDatabase,
-    graph: CorrelationGraph,
-    cfg: &MinerConfig,
-) -> ApproxOutcome {
-    let mu = graph.mu();
-    let correlated = graph.correlated_variables();
-    let in_xc: Vec<bool> = {
-        let mut v = vec![false; syb.n_variables()];
-        for var in &correlated {
-            v[var.0 as usize] = true;
-        }
-        v
-    };
-
-    let registry = seq_db.registry();
-    let allowed: Vec<bool> = registry
-        .ids()
-        .map(|e| in_xc[registry.variable(e).0 as usize])
-        .collect();
-    let result = {
-        let filter = CorrelationFilter {
-            allowed,
-            edge: Box::new(|ei, ej| {
-                graph.has_edge(registry.variable(ei), registry.variable(ej))
-            }),
-        };
-        let mut sink = CollectSink::new();
-        let stats = mine_internal(seq_db, cfg, Some(&filter), None, &mut sink);
-        sink.into_result(stats)
-    };
-    ApproxOutcome {
-        result,
-        mu,
-        graph,
-        correlated,
-    }
+    mine_collect(seq_db, CorrelationGraph::build(syb, mu), cfg, 1)
 }
 
 /// Mines approximately with `μ` chosen so the correlation graph keeps the
@@ -99,12 +114,92 @@ pub fn mine_approximate_with_density(
     density: f64,
     cfg: &MinerConfig,
 ) -> ApproxOutcome {
-    mine_with_graph(
-        syb,
-        seq_db,
-        CorrelationGraph::build_with_density(syb, density),
-        cfg,
-    )
+    mine_collect(seq_db, CorrelationGraph::build_with_density(syb, density), cfg, 1)
+}
+
+/// Multi-threaded [`mine_approximate`]: the same pattern set, supports
+/// and confidences, mined by `threads` workers.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn mine_approximate_parallel(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+    mu: f64,
+    cfg: &MinerConfig,
+    threads: usize,
+) -> ApproxOutcome {
+    mine_collect(seq_db, CorrelationGraph::build(syb, mu), cfg, threads)
+}
+
+/// Sink-driven [`mine_approximate`]: emits each finished node into
+/// `sink` instead of materializing a [`MiningResult`] — the approximate
+/// counterpart of [`crate::mine_exact_with_sink`]. The outcome wraps the
+/// run statistics.
+pub fn mine_approximate_with_sink(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+    mu: f64,
+    cfg: &MinerConfig,
+    sink: &mut (dyn PatternSink + Send),
+) -> ApproxOutcome<MiningStats> {
+    let graph = CorrelationGraph::build(syb, mu);
+    let stats = mine_approximate_graph_with_sink(seq_db, &graph, cfg, 1, sink);
+    outcome(stats, graph)
+}
+
+/// Sink-driven, multi-threaded [`mine_approximate`] — the approximate
+/// counterpart of [`crate::mine_exact_parallel_with_sink`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn mine_approximate_parallel_with_sink(
+    syb: &SymbolicDatabase,
+    seq_db: &SequenceDatabase,
+    mu: f64,
+    cfg: &MinerConfig,
+    threads: usize,
+    sink: &mut (dyn PatternSink + Send),
+) -> ApproxOutcome<MiningStats> {
+    let graph = CorrelationGraph::build(syb, mu);
+    let stats = mine_approximate_graph_with_sink(seq_db, &graph, cfg, threads, sink);
+    outcome(stats, graph)
+}
+
+/// The unsharded A-HTPGM primitive every entry point above reduces to:
+/// mines `seq_db` under a caller-built correlation graph, emitting into
+/// `sink` with `threads` workers (1 = the sequential miner). Build the
+/// graph once — [`CorrelationGraph::build`] for a μ threshold,
+/// [`CorrelationGraph::build_with_density`] for the density
+/// parameterization — and reuse it across runs or pass it on to the
+/// sharded variants; that is the "one plan" contract.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn mine_approximate_graph_with_sink(
+    seq_db: &SequenceDatabase,
+    graph: &CorrelationGraph,
+    cfg: &MinerConfig,
+    threads: usize,
+    sink: &mut (dyn PatternSink + Send),
+) -> MiningStats {
+    let filter = correlation_filter(graph, seq_db.registry());
+    mine_parallel_internal(seq_db, cfg, threads, Some(&filter), None, sink, None)
+}
+
+/// Collecting driver behind the non-sink entry points.
+fn mine_collect(
+    seq_db: &SequenceDatabase,
+    graph: CorrelationGraph,
+    cfg: &MinerConfig,
+    threads: usize,
+) -> ApproxOutcome {
+    let mut sink = CollectSink::new();
+    let stats = mine_approximate_graph_with_sink(seq_db, &graph, cfg, threads, &mut sink);
+    outcome(sink.into_result(stats), graph)
 }
 
 /// Builds a symbolic database of per-event indicator series: one binary
@@ -160,29 +255,21 @@ pub fn mine_approximate_event_level(
 ) -> ApproxOutcome {
     let indicators = event_indicator_database(syb, seq_db);
     let graph = CorrelationGraph::build(&indicators, mu);
-    let correlated = graph.correlated_variables();
-    let allowed: Vec<bool> = {
-        let mut v = vec![false; seq_db.registry().len()];
-        for var in &correlated {
-            v[var.0 as usize] = true;
-        }
-        v
-    };
     let result = {
-        let filter = CorrelationFilter {
+        // Event-level variant of `correlation_filter`: the indicator
+        // database has one vertex per event, so the mapping is the
+        // identity instead of the registry's variable projection.
+        let mut allowed = vec![false; seq_db.registry().len()];
+        for var in graph.correlated_variables() {
+            allowed[var.0 as usize] = true;
+        }
+        let filter = CorrelationFilter::new(
             allowed,
-            edge: Box::new(|ei, ej| {
-                graph.has_edge(VariableId(ei.0), VariableId(ej.0))
-            }),
-        };
+            Box::new(|ei, ej| graph.has_edge(VariableId(ei.0), VariableId(ej.0))),
+        );
         let mut sink = CollectSink::new();
-        let stats = mine_internal(seq_db, cfg, Some(&filter), None, &mut sink);
+        let stats = mine_parallel_internal(seq_db, cfg, 1, Some(&filter), None, &mut sink, None);
         sink.into_result(stats)
     };
-    ApproxOutcome {
-        result,
-        mu,
-        graph,
-        correlated,
-    }
+    outcome(result, graph)
 }

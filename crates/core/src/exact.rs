@@ -35,7 +35,8 @@ use ftpm_events::{
 };
 
 use crate::candidates::{
-    apriori_gate, passes_thresholds, L2Engine, PairRelations, WorkNode, WorkPattern,
+    apriori_gate, passes_thresholds, CorrelationFilter, L2Engine, PairRelations, WorkNode,
+    WorkPattern,
 };
 use crate::config::MinerConfig;
 use crate::index::DatabaseIndex;
@@ -47,15 +48,6 @@ use crate::sink::{CollectSink, PatternSink};
 /// u64 grouping key; in practice level-wise mining never gets anywhere
 /// near it.
 pub(crate) const MAX_EVENTS_HARD_CAP: usize = 32;
-
-/// Restricts mining to correlated series — how A-HTPGM plugs into the
-/// exact miner (Alg. 2 lines 7–11).
-pub(crate) struct CorrelationFilter<'a> {
-    /// `allowed[event]` — the event's series is in the correlated set X_C.
-    pub allowed: Vec<bool>,
-    /// Edge test between the series of two events.
-    pub edge: Box<dyn Fn(EventId, EventId) -> bool + 'a>,
-}
 
 /// Mines all frequent temporal patterns of `db` — `E-HTPGM`.
 ///
@@ -194,7 +186,7 @@ fn mine_internal_k<K: BoundaryKernel>(
     let freq_events: Vec<EventId> = db
         .registry()
         .ids()
-        .filter(|&e| corr.is_none_or(|c| c.allowed[e.0 as usize]))
+        .filter(|&e| corr.is_none_or(|c| c.allows_event(e)))
         .filter(|&e| index.support(e) >= sigma_abs)
         .collect();
     let l1: Vec<(EventId, usize)> = freq_events
@@ -217,7 +209,7 @@ fn mine_internal_k<K: BoundaryKernel>(
     for &ei in &freq_events {
         for &ej in &freq_events {
             if let Some(c) = corr {
-                if !(c.edge)(ei, ej) {
+                if !c.allows_pair(ei, ej) {
                     continue;
                 }
             }

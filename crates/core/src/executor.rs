@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use ftpm_events::{BoundaryKernel, BoundaryPolicy, BoundaryVisit, EventId};
 
-use crate::candidates::{L2Engine, PairRelations, WorkNode, CONF_EPS};
+use crate::candidates::{CorrelationFilter, L2Engine, PairRelations, WorkNode, CONF_EPS};
 use crate::config::MinerConfig;
 use crate::exact::{grow_candidates, MAX_EVENTS_HARD_CAP};
 use crate::index::DatabaseIndex;
@@ -109,6 +109,11 @@ pub(crate) struct ShardWorker<'a, K: BoundaryKernel> {
     /// Current level's nodes with occurrence bindings (survivors only,
     /// once the coordinator's verdict is in).
     level: Vec<WorkNode>,
+    /// The A-HTPGM gate, built once globally by the coordinator (from
+    /// the *global* correlation graph over the master registry — never
+    /// per shard): L2 proposals skip MI-pruned pairs outright, so a
+    /// pruned pair costs no verification in any shard.
+    corr: Option<&'a CorrelationFilter<'a>>,
     /// The last propose round's candidates with owned statistics.
     proposals: HashMap<Pattern, OwnedStats>,
     stats: MiningStats,
@@ -120,7 +125,12 @@ pub(crate) struct ShardWorker<'a, K: BoundaryKernel> {
 }
 
 impl<'a, K: BoundaryKernel> ShardWorker<'a, K> {
-    fn new(shard: &'a Shard, cfg: &MinerConfig, threads: usize) -> Self {
+    fn new(
+        shard: &'a Shard,
+        cfg: &MinerConfig,
+        threads: usize,
+        corr: Option<&'a CorrelationFilter<'a>>,
+    ) -> Self {
         ShardWorker {
             shard,
             local_cfg: MinerConfig {
@@ -130,6 +140,7 @@ impl<'a, K: BoundaryKernel> ShardWorker<'a, K> {
             },
             boundary: cfg.relation.boundary,
             threads,
+            corr,
             index: None,
             has_clipped: false,
             l1_supports: Vec::new(),
@@ -184,9 +195,14 @@ impl<'a, K: BoundaryKernel> ShardWorker<'a, K> {
             .copied()
             .filter(|&e| index.support(e) > 0)
             .collect();
+        // The G_C edge gate applies *at propose time*: an MI-pruned pair
+        // is never enumerated, so no shard ever verifies it — strictly
+        // fewer proposals than filtering the exchange output post hoc.
+        let corr = self.corr;
         let pairs: Vec<(EventId, EventId)> = local
             .iter()
             .flat_map(|&ei| local.iter().map(move |&ej| (ei, ej)))
+            .filter(|&(ei, ej)| corr.is_none_or(|c| c.allows_pair(ei, ej)))
             .collect();
         let engine = L2Engine::<K> {
             db: &self.shard.db,
@@ -406,32 +422,49 @@ fn debug_assert_recount<K: BoundaryKernel>(
 /// workers, a level-lockstep propose → gate → expand loop, and the final
 /// [`ShardMerge`] confidence/emission pass into `sink`. Returns the
 /// merged run statistics and one [`ShardReport`] per shard.
+///
+/// `corr` is the A-HTPGM composition seam: the coordinator holds the one
+/// globally-built [`CorrelationFilter`] (see [`crate::approx`]) and
+/// applies it exactly where the unsharded miner would — the round-1
+/// global frequent-event list keeps only `X_C` events, and every
+/// worker's L2 propose skips MI-pruned pairs — so the merged output
+/// equals unsharded [`crate::mine_approximate`] identically.
 pub(crate) fn mine_exchange_internal(
     plan: &ShardPlan,
     cfg: &MinerConfig,
     threads: usize,
+    corr: Option<&CorrelationFilter<'_>>,
     sink: &mut dyn PatternSink,
     sched: Option<&crate::schedule::SimCtl>,
 ) -> (MiningStats, Vec<ShardReport>) {
     // Monomorphization seam: fix the boundary kernel once per run (the
     // same dispatch point discipline as `exact::mine_internal`).
-    struct Run<'a, 'b> {
+    struct Run<'a, 'b, 'c> {
         plan: &'a ShardPlan,
         cfg: &'a MinerConfig,
         threads: usize,
+        corr: Option<&'a CorrelationFilter<'c>>,
         sink: &'a mut dyn PatternSink,
         sched: Option<&'b crate::schedule::SimCtl>,
     }
-    impl BoundaryVisit for Run<'_, '_> {
+    impl BoundaryVisit for Run<'_, '_, '_> {
         type Out = (MiningStats, Vec<ShardReport>);
         fn visit<K: BoundaryKernel>(self) -> Self::Out {
-            mine_exchange_internal_k::<K>(self.plan, self.cfg, self.threads, self.sink, self.sched)
+            mine_exchange_internal_k::<K>(
+                self.plan,
+                self.cfg,
+                self.threads,
+                self.corr,
+                self.sink,
+                self.sched,
+            )
         }
     }
     cfg.relation.boundary.dispatch(Run {
         plan,
         cfg,
         threads,
+        corr,
         sink,
         sched,
     })
@@ -442,6 +475,7 @@ fn mine_exchange_internal_k<K: BoundaryKernel>(
     plan: &ShardPlan,
     cfg: &MinerConfig,
     threads: usize,
+    corr: Option<&CorrelationFilter<'_>>,
     sink: &mut dyn PatternSink,
     sched: Option<&crate::schedule::SimCtl>,
 ) -> (MiningStats, Vec<ShardReport>) {
@@ -468,7 +502,7 @@ fn mine_exchange_internal_k<K: BoundaryKernel>(
     };
     let mut workers: Vec<ShardWorker<'_, K>> = shards
         .iter()
-        .map(|shard| ShardWorker::new(shard, cfg, inner))
+        .map(|shard| ShardWorker::new(shard, cfg, inner, corr))
         .collect();
     let mut merge = ShardMerge::new(plan.registry().clone(), plan.n_windows());
     let sigma_abs = cfg.absolute_support(plan.n_windows());
@@ -485,11 +519,18 @@ fn mine_exchange_internal_k<K: BoundaryKernel>(
         clipped_total += worker.l1_boundary.0;
         discarded_total += worker.l1_boundary.1;
     }
+    // Events outside X_C are invisible to the whole run — the merge's
+    // frequent-event list and confidence denominators must match the
+    // unsharded approximate miner's filtered L1, and filtered patterns
+    // only ever reference allowed events.
     for (e, &s) in event_supports.iter().enumerate() {
-        merge.add_event_support(EventId(e as u32), s);
+        if corr.is_none_or(|c| c.allows_event(EventId(e as u32))) {
+            merge.add_event_support(EventId(e as u32), s);
+        }
     }
     merge.set_boundary_counts(clipped_total, discarded_total);
     let freq: Vec<EventId> = (0..event_supports.len())
+        .filter(|&e| corr.is_none_or(|c| c.allows_event(EventId(e as u32))))
         .filter(|&e| event_supports[e] >= sigma_abs)
         .map(|e| EventId(e as u32))
         .collect();

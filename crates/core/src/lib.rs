@@ -12,7 +12,15 @@
 //!   Apriori pruning (Lemmas 2–3) and transitivity pruning (Lemmas 4–7);
 //! * [`mine_approximate`] (A-HTPGM, Section V, Alg. 2) — prunes
 //!   uncorrelated time series via the mutual-information correlation
-//!   graph before running HTPGM;
+//!   graph before running HTPGM. The graph is a [`CorrelationFilter`]
+//!   handed to the shared miners, so A-HTPGM composes with every
+//!   execution axis: parallel ([`mine_approximate_parallel`]), streaming
+//!   ([`mine_approximate_with_sink`],
+//!   [`mine_approximate_graph_with_sink`]), sharded support-complete
+//!   ([`ShardPlan::mine_approximate_into`]) and sharded
+//!   candidate-exchange ([`mine_approximate_sharded_exchange`],
+//!   [`ShardPlan::mine_approximate_exchange_into`]) — each yielding the
+//!   identical pattern set;
 //! * [`mine_reference`] — a brute-force miner used as a correctness
 //!   oracle in tests and to study the patterns A-HTPGM prunes (Fig 8);
 //! * [`PatternSink`] and friends ([`CollectSink`], [`CountingSink`],
@@ -70,9 +78,12 @@ mod shard;
 mod sink;
 
 pub use approx::{
-    event_indicator_database, mine_approximate, mine_approximate_event_level,
-    mine_approximate_with_density, ApproxOutcome,
+    correlation_filter, event_indicator_database, mine_approximate, mine_approximate_event_level,
+    mine_approximate_graph_with_sink, mine_approximate_parallel,
+    mine_approximate_parallel_with_sink, mine_approximate_with_density,
+    mine_approximate_with_sink, ApproxOutcome,
 };
+pub use candidates::CorrelationFilter;
 pub use config::{MinerConfig, PruningConfig};
 pub use exact::{mine_exact, mine_exact_with_sink};
 pub use parallel::{mine_exact_parallel, mine_exact_parallel_with_sink};
@@ -83,11 +94,12 @@ pub use hpg::{HierarchicalPatternGraph, Level, Node};
 pub use index::DatabaseIndex;
 pub use merge::{MergeSink, ShardMerge};
 pub use pattern::Pattern;
-pub use reference::mine_reference;
+pub use reference::{mine_reference, mine_reference_filtered};
 pub use result::{FrequentPattern, MiningResult, MiningStats};
 pub use schedule::Schedule;
 pub use executor::ShardReport;
 pub use shard::{
-    mine_sharded, mine_sharded_exchange, Shard, ShardPlan, ShardPlanner, ShardedMining,
+    mine_approximate_sharded_exchange, mine_sharded, mine_sharded_exchange, Shard, ShardPlan,
+    ShardPlanner, ShardedMining,
 };
 pub use sink::{CollectSink, CountingSink, CsvSink, JsonlSink, PatternSink};

@@ -29,7 +29,7 @@ use std::thread::ScopedJoinHandle;
 
 use ftpm_events::{BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase};
 
-use crate::candidates::{L2Engine, PairRelations, WorkNode};
+use crate::candidates::{CorrelationFilter, L2Engine, PairRelations, WorkNode};
 use crate::config::MinerConfig;
 use crate::exact::{GrowContext, MAX_EVENTS_HARD_CAP};
 use crate::index::DatabaseIndex;
@@ -73,7 +73,7 @@ pub fn mine_exact_parallel_with_sink(
     n_threads: usize,
     sink: &mut (dyn PatternSink + Send),
 ) -> MiningStats {
-    mine_parallel_internal(db, cfg, n_threads, None, sink, None)
+    mine_parallel_internal(db, cfg, n_threads, None, None, sink, None)
 }
 
 /// Joins every handle, then re-raises the first panic payload if any
@@ -116,6 +116,7 @@ pub(crate) fn mine_parallel_internal(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     n_threads: usize,
+    corr: Option<&CorrelationFilter<'_>>,
     owned: Option<&[bool]>,
     sink: &mut (dyn PatternSink + Send),
     sched: Option<&SimCtl>,
@@ -123,25 +124,27 @@ pub(crate) fn mine_parallel_internal(
     // lint: allow(panic, documented # Panics contract: thread count floor)
     assert!(n_threads > 0, "need at least one thread");
     if n_threads == 1 {
-        return crate::exact::mine_internal(db, cfg, None, owned, sink);
+        return crate::exact::mine_internal(db, cfg, corr, owned, sink);
     }
     // Monomorphization seam: fix the boundary kernel once per run (the
     // same dispatch point discipline as `exact::mine_internal`).
-    struct Run<'a, 'b> {
+    struct Run<'a, 'b, 'c> {
         db: &'a SequenceDatabase,
         cfg: &'a MinerConfig,
         n_threads: usize,
+        corr: Option<&'a CorrelationFilter<'c>>,
         owned: Option<&'a [bool]>,
         sink: &'a mut (dyn PatternSink + Send),
         sched: Option<&'b SimCtl>,
     }
-    impl BoundaryVisit for Run<'_, '_> {
+    impl BoundaryVisit for Run<'_, '_, '_> {
         type Out = MiningStats;
         fn visit<K: BoundaryKernel>(self) -> MiningStats {
             mine_parallel_internal_k::<K>(
                 self.db,
                 self.cfg,
                 self.n_threads,
+                self.corr,
                 self.owned,
                 self.sink,
                 self.sched,
@@ -152,6 +155,7 @@ pub(crate) fn mine_parallel_internal(
         db,
         cfg,
         n_threads,
+        corr,
         owned,
         sink,
         sched,
@@ -163,6 +167,7 @@ fn mine_parallel_internal_k<K: BoundaryKernel>(
     db: &SequenceDatabase,
     cfg: &MinerConfig,
     n_threads: usize,
+    corr: Option<&CorrelationFilter<'_>>,
     owned: Option<&[bool]>,
     sink: &mut (dyn PatternSink + Send),
     sched: Option<&SimCtl>,
@@ -175,6 +180,7 @@ fn mine_parallel_internal_k<K: BoundaryKernel>(
     let freq_events: Vec<EventId> = db
         .registry()
         .ids()
+        .filter(|&e| corr.is_none_or(|c| c.allows_event(e)))
         .filter(|&e| index.support(e) >= sigma_abs)
         .collect();
     let l1: Vec<(EventId, usize)> = freq_events
@@ -194,6 +200,7 @@ fn mine_parallel_internal_k<K: BoundaryKernel>(
     let pairs: Vec<(EventId, EventId)> = freq_events
         .iter()
         .flat_map(|&ei| freq_events.iter().map(move |&ej| (ei, ej)))
+        .filter(|&(ei, ej)| corr.is_none_or(|c| c.allows_pair(ei, ej)))
         .collect();
     let next_pair = AtomicUsize::new(0);
     if let Some(ctl) = sched {

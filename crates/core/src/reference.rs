@@ -14,6 +14,7 @@ use ftpm_events::{
     BoundaryKernel, BoundaryVisit, SequenceDatabase, TemporalRelation,
 };
 
+use crate::candidates::CorrelationFilter;
 use crate::config::MinerConfig;
 use crate::hpg::HierarchicalPatternGraph;
 use crate::index::DatabaseIndex;
@@ -27,23 +28,47 @@ use crate::result::{FrequentPattern, MiningResult, MiningStats};
 /// orders of magnitude slower. Cap the pattern length with
 /// [`MinerConfig::with_max_events`] on all but trivial inputs.
 pub fn mine_reference(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+    mine_reference_filtered(db, cfg, None)
+}
+
+/// [`mine_reference`] under a [`CorrelationFilter`] — the brute-force
+/// counterpart of A-HTPGM, so the approximate miners have an oracle too.
+///
+/// The filter is honored at the same two gates as everywhere else:
+/// tuples never start from (L1) or extend with (L2) an event outside the
+/// correlated set, and every event pair inside a tuple must share a
+/// correlation-graph edge. With transitivity pruning on (the default —
+/// the regime every cross-validation suite runs in), this is exactly the
+/// pattern set the HPG miners produce under the same filter, because
+/// their level-≥3 growth admits a pair only through an edge-gated L2
+/// node.
+pub fn mine_reference_filtered(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    corr: Option<&CorrelationFilter<'_>>,
+) -> MiningResult {
     // Monomorphization seam: fix the boundary kernel once per run (the
     // same dispatch point discipline as `exact::mine_internal`).
-    struct Run<'a> {
+    struct Run<'a, 'c> {
         db: &'a SequenceDatabase,
         cfg: &'a MinerConfig,
+        corr: Option<&'a CorrelationFilter<'c>>,
     }
-    impl BoundaryVisit for Run<'_> {
+    impl BoundaryVisit for Run<'_, '_> {
         type Out = MiningResult;
         fn visit<K: BoundaryKernel>(self) -> MiningResult {
-            mine_reference_k::<K>(self.db, self.cfg)
+            mine_reference_k::<K>(self.db, self.cfg, self.corr)
         }
     }
-    cfg.relation.boundary.dispatch(Run { db, cfg })
+    cfg.relation.boundary.dispatch(Run { db, cfg, corr })
 }
 
 /// [`mine_reference`], monomorphized over the boundary kernel.
-fn mine_reference_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig) -> MiningResult {
+fn mine_reference_k<K: BoundaryKernel>(
+    db: &SequenceDatabase,
+    cfg: &MinerConfig,
+    corr: Option<&CorrelationFilter<'_>>,
+) -> MiningResult {
     let n_seqs = db.len();
     let sigma_abs = cfg.absolute_support(n_seqs);
     let index = DatabaseIndex::build_with_policy(db, cfg.relation.boundary);
@@ -62,6 +87,9 @@ fn mine_reference_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig)
             if K::interval(&insts[start]).is_none() {
                 continue; // discarded by the boundary policy
             }
+            if corr.is_some_and(|c| !c.allows_event(insts[start].event)) {
+                continue; // outside the correlated set X_C
+            }
             tuple.push(start);
             dfs::<K>(
                 db,
@@ -71,7 +99,7 @@ fn mine_reference_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig)
                 &mut tuple,
                 &mut rels,
                 &mut support,
-                sigma_abs,
+                corr,
             );
             tuple.pop();
         }
@@ -116,6 +144,7 @@ fn mine_reference_k<K: BoundaryKernel>(db: &SequenceDatabase, cfg: &MinerConfig)
     let frequent_events = db
         .registry()
         .ids()
+        .filter(|&e| corr.is_none_or(|c| c.allows_event(e)))
         .filter(|&e| index.support(e) >= sigma_abs)
         .map(|e| (e, index.support(e)))
         .collect();
@@ -144,7 +173,7 @@ fn dfs<K: BoundaryKernel>(
     tuple: &mut Vec<usize>,
     rels: &mut Vec<TemporalRelation>,
     support: &mut HashMap<Pattern, PatternAccum>,
-    _sigma_abs: usize,
+    corr: Option<&CorrelationFilter<'_>>,
 ) {
     let insts = db.sequences()[seq_id].instances();
     let rel = &cfg.relation;
@@ -189,6 +218,12 @@ fn dfs<K: BoundaryKernel>(
         if K::key(x) <= last_key {
             continue;
         }
+        if corr.is_some_and(|c| {
+            !c.allows_event(x.event)
+                || tuple.iter().any(|&ti| !c.allows_pair(insts[ti].event, x.event))
+        }) {
+            continue; // pruned by the correlation graph (L1 / L2 gates)
+        }
         if !rel.within_t_max(first_start, tuple_max_end.max(x_iv.end)) {
             continue;
         }
@@ -209,7 +244,7 @@ fn dfs<K: BoundaryKernel>(
         let depth = rels.len();
         rels.extend_from_slice(&new_rels);
         tuple.push(next);
-        dfs::<K>(db, cfg, seq_id, n_insts, tuple, rels, support, _sigma_abs);
+        dfs::<K>(db, cfg, seq_id, n_insts, tuple, rels, support, corr);
         tuple.pop();
         rels.truncate(depth);
     }

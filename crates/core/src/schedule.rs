@@ -241,6 +241,7 @@ impl Schedule {
             cfg,
             self.workers,
             None,
+            None,
             &mut sink,
             Some(&self.ctl),
         );
@@ -259,7 +260,7 @@ impl Schedule {
     ) -> (MiningResult, Vec<ShardReport>) {
         let mut sink = CollectSink::new();
         let (stats, reports) =
-            mine_exchange_internal(plan, cfg, self.workers, &mut sink, Some(&self.ctl));
+            mine_exchange_internal(plan, cfg, self.workers, None, &mut sink, Some(&self.ctl));
         (sink.into_result(stats), reports)
     }
 }

@@ -45,6 +45,7 @@ use ftpm_events::{
     to_sequence_database, BoundaryPolicy, EventId, EventInstance, EventRegistry,
     SequenceDatabase, ShardSpan, SplitConfig, TemporalSequence,
 };
+use ftpm_mi::CorrelationGraph;
 use ftpm_timeseries::SymbolicDatabase;
 
 use crate::config::MinerConfig;
@@ -270,6 +271,21 @@ impl ShardPlan {
         threads: usize,
         sink: &mut dyn PatternSink,
     ) -> (MiningStats, Vec<ShardReport>) {
+        self.mine_into_reported_filtered(cfg, threads, None, sink)
+    }
+
+    /// The filter-aware engine behind [`ShardPlan::mine_into_reported`]
+    /// and [`ShardPlan::mine_approximate_into`]: `corr` is the global
+    /// A-HTPGM gate (built once against the master registry, which every
+    /// shard database already speaks), applied by each shard's miner at
+    /// the same L1/L2 points as everywhere else.
+    fn mine_into_reported_filtered(
+        &self,
+        cfg: &MinerConfig,
+        threads: usize,
+        corr: Option<&crate::candidates::CorrelationFilter<'_>>,
+        sink: &mut dyn PatternSink,
+    ) -> (MiningStats, Vec<ShardReport>) {
         // Support-complete shard mining: absolute support 1, no local
         // confidence gate — only the merge can apply the global σ/δ.
         let shard_cfg = MinerConfig {
@@ -286,24 +302,15 @@ impl ShardPlan {
             let candidates_proposed;
             {
                 let mut merge_sink = merge.sink(map);
-                let stats = if threads > 1 {
-                    crate::parallel::mine_parallel_internal(
-                        &shard.db,
-                        &shard_cfg,
-                        threads,
-                        Some(&shard.owned),
-                        &mut merge_sink,
-                        None,
-                    )
-                } else {
-                    crate::exact::mine_internal(
-                        &shard.db,
-                        &shard_cfg,
-                        None,
-                        Some(&shard.owned),
-                        &mut merge_sink,
-                    )
-                };
+                let stats = crate::parallel::mine_parallel_internal(
+                    &shard.db,
+                    &shard_cfg,
+                    threads.max(1),
+                    corr,
+                    Some(&shard.owned),
+                    &mut merge_sink,
+                    None,
+                );
                 candidates_proposed = stats.patterns_found.iter().sum();
                 merge.add_stats(stats);
             }
@@ -325,8 +332,11 @@ impl ShardPlan {
                     }
                     seen[inst.event.0 as usize] = true;
                 }
+                // Events outside X_C stay invisible to the merge too, so
+                // the merged frequent-event list and confidence
+                // denominators match the unsharded approximate miner.
                 for (e, s) in seen.iter().enumerate() {
-                    if *s {
+                    if *s && corr.is_none_or(|c| c.allows_event(map[e])) {
                         merge.add_event_support(map[e], 1);
                     }
                 }
@@ -367,7 +377,7 @@ impl ShardPlan {
         threads: usize,
         sink: &mut dyn PatternSink,
     ) -> (MiningStats, Vec<ShardReport>) {
-        mine_exchange_internal(self, cfg, threads, sink, None)
+        mine_exchange_internal(self, cfg, threads, None, sink, None)
     }
 
     /// Like [`ShardPlan::mine_exchange_into`], collecting into a
@@ -379,6 +389,53 @@ impl ShardPlan {
     ) -> (MiningResult, Vec<ShardReport>) {
         let mut sink = CollectSink::new();
         let (stats, reports) = self.mine_exchange_into(cfg, threads, &mut sink);
+        (sink.into_result(stats), reports)
+    }
+
+    /// A-HTPGM over the support-complete sharded path: every shard mines
+    /// under the one globally-built correlation `graph` (constructed by
+    /// the caller from the *unsliced* symbolic database — per-shard
+    /// graphs would gate on slice-local MI and diverge). The merged
+    /// output equals the unsharded [`crate::mine_approximate`] run with
+    /// the same graph exactly.
+    pub fn mine_approximate_into(
+        &self,
+        graph: &CorrelationGraph,
+        cfg: &MinerConfig,
+        threads: usize,
+        sink: &mut dyn PatternSink,
+    ) -> (MiningStats, Vec<ShardReport>) {
+        let filter = crate::approx::correlation_filter(graph, &self.registry);
+        self.mine_into_reported_filtered(cfg, threads, Some(&filter), sink)
+    }
+
+    /// A-HTPGM over the candidate-exchange executor: the coordinator
+    /// holds the one globally-built filter and the `G_C` edge gate is
+    /// applied *at propose time*, so shards never verify (or ship) an
+    /// MI-pruned pair — the multiplicative composition of the two
+    /// pruning families. The merged output equals the unsharded
+    /// [`crate::mine_approximate`] run with the same graph exactly.
+    pub fn mine_approximate_exchange_into(
+        &self,
+        graph: &CorrelationGraph,
+        cfg: &MinerConfig,
+        threads: usize,
+        sink: &mut dyn PatternSink,
+    ) -> (MiningStats, Vec<ShardReport>) {
+        let filter = crate::approx::correlation_filter(graph, &self.registry);
+        mine_exchange_internal(self, cfg, threads, Some(&filter), sink, None)
+    }
+
+    /// Like [`ShardPlan::mine_approximate_exchange_into`], collecting
+    /// into a [`MiningResult`] (expressed in [`ShardPlan::registry`]).
+    pub fn mine_approximate_exchange(
+        &self,
+        graph: &CorrelationGraph,
+        cfg: &MinerConfig,
+        threads: usize,
+    ) -> (MiningResult, Vec<ShardReport>) {
+        let mut sink = CollectSink::new();
+        let (stats, reports) = self.mine_approximate_exchange_into(graph, cfg, threads, &mut sink);
         (sink.into_result(stats), reports)
     }
 }
@@ -438,6 +495,33 @@ pub fn mine_sharded_exchange(
 ) -> Result<(ShardedMining, Vec<ShardReport>), String> {
     let plan = ShardPlanner::new(shards).plan(syb, split, cfg.relation.t_max)?;
     let (result, reports) = plan.mine_exchange(cfg, threads);
+    let n_shards = plan.shards.len();
+    Ok((
+        ShardedMining {
+            result,
+            registry: plan.registry,
+            shards: n_shards,
+            t_ov: plan.t_ov,
+        },
+        reports,
+    ))
+}
+
+/// One-call approximate sharded mining through the candidate-exchange
+/// executor: builds the plan, mines every shard under the caller's
+/// globally-built correlation `graph` (the MI edge gate applies at
+/// propose time), and merges. Output equals the unsharded
+/// [`crate::mine_approximate`] run with the same graph exactly.
+pub fn mine_approximate_sharded_exchange(
+    syb: &SymbolicDatabase,
+    split: SplitConfig,
+    graph: &CorrelationGraph,
+    cfg: &MinerConfig,
+    shards: usize,
+    threads: usize,
+) -> Result<(ShardedMining, Vec<ShardReport>), String> {
+    let plan = ShardPlanner::new(shards).plan(syb, split, cfg.relation.t_max)?;
+    let (result, reports) = plan.mine_approximate_exchange(graph, cfg, threads);
     let n_shards = plan.shards.len();
     Ok((
         ShardedMining {

@@ -7,6 +7,8 @@
 //! ftpm mine  --demo nist --scale 0.02 --sigma 0.4 --threads 4 \
 //!            --output patterns.jsonl --stream
 //! ftpm mine  --demo city --approx-density 0.6 --sigma 0.3 --delta 0.3
+//! ftpm mine  --demo energy --approx-density 0.8 --shards 4 --threads 4 \
+//!            --stream                     # A-HTPGM, sharded + exchange
 //! ftpm mine  --demo nist --sort support --top 20
 //! ftpm mine  --demo nist --scale 0.01 --boundary true-extent --t-max 180 \
 //!            --shards 4 --shard-by time --json            # candidate exchange
@@ -20,9 +22,16 @@
 //! (`--threshold`, default 0.05) is applied unless `--states N` asks for
 //! N quantile states.
 //!
-//! Exact mining defaults to every available core (`--threads`); with
-//! `--stream` the patterns are written to `--output` as they are mined,
-//! never materializing the full pattern set in memory.
+//! Mining defaults to every available core (`--threads`); with
+//! `--stream` the patterns are written to `--output` (or, without one,
+//! as CSV to stdout) as they are mined, never materializing the full
+//! pattern set in memory.
+//!
+//! Every flag selects one axis of the same plan: `--mu` /
+//! `--approx-density` (A-HTPGM), `--threads`, `--shards`,
+//! `--exchange`/`--no-exchange` and `--stream` compose freely, and every
+//! composition yields the same pattern set as its single-threaded,
+//! unsharded counterpart.
 
 use std::io::{BufWriter, Write as _};
 use std::process::ExitCode;
@@ -51,7 +60,7 @@ fn print_help() {
         "ftpm — Frequent Temporal Pattern Mining from Time Series
 
 USAGE:
-  ftpm mine  [--input FILE.csv | --demo nist|ukdale|dataport|city]
+  ftpm mine  [--input FILE.csv | --demo nist|energy|ukdale|dataport|city]
              [--sigma F] [--delta F] [--window MIN] [--overlap MIN]
              [--boundary clip|true-extent|discard] [--t-max MIN]
              [--threshold F | --states N] [--scale F]
@@ -79,14 +88,17 @@ OPTIONS:
                      [default: unconstrained]
   --threshold F      On/Off symbolization threshold       [default 0.05]
   --states N         use N quantile states instead of On/Off
-  --mu F             A-HTPGM with explicit NMI threshold
+  --mu F             A-HTPGM with explicit NMI threshold; composes with
+                     --threads/--shards/--exchange/--stream — same
+                     pattern set on every composition
   --approx-density F A-HTPGM with correlation-graph density target
+                     (mutually exclusive with --mu)
   --max-events N     cap pattern length                   [default 5]
-  --threads N        worker threads for exact mining  [default: all cores]
+  --threads N        worker threads                   [default: all cores]
   --shards K         shard-by-time-range mining: cut the data into K
                      time-range shards overlapping by t_max, mine each
-                     independently, merge losslessly (exact miner only;
-                     output equals the unsharded run)      [default 1]
+                     independently, merge losslessly (output equals the
+                     unsharded run, exact or approximate)  [default 1]
   --shard-by KEY     sharding axis; only \"time\" is implemented
   --exchange         two-phase candidate exchange (default with --shards):
                      shards run concurrently, propose level-k candidates
@@ -97,8 +109,9 @@ OPTIONS:
                      sequential shards) for cross-validation; keep
                      --max-events low on wide alphabets
   --output FILE      export patterns (.csv or .jsonl, by extension)
-  --stream           stream patterns straight to --output while mining
-                     (constant memory; exact miner only, no sort/top)
+  --stream           stream patterns straight to --output while mining —
+                     or, without --output, as CSV to stdout (the summary
+                     then goes to stderr). Constant memory; no sort/top
   --sort KEY         order printed/exported patterns: support|confidence
   --top N            keep only the N best patterns (sorts by support
                      unless --sort says otherwise)
@@ -107,8 +120,9 @@ OPTIONS:
 LINT:
   ftpm lint runs the ftpm-analyzer workspace invariant linter (fused
   and_count usage, panic-free library crates, exhaustive BoundaryPolicy
-  matches, unsafe confinement, checked sink writes). --root overrides
-  workspace discovery; --json writes a machine-readable report."
+  matches, unsafe confinement, checked sink writes, correlation-filter
+  confinement). --root overrides workspace discovery; --json writes a
+  machine-readable report."
     );
 }
 
@@ -326,19 +340,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
     if !(opt.delta > 0.0 && opt.delta <= 1.0) {
         return Err(format!("--delta must be in (0, 1], got {}", opt.delta));
     }
-    if opt.stream {
-        if opt.output.is_none() {
-            return Err("--stream needs --output FILE".into());
-        }
-        if opt.sort.is_some() || opt.top.is_some() {
-            return Err("--stream cannot sort or truncate; drop --sort/--top".into());
-        }
-        if opt.mu.is_some() || opt.density.is_some() {
-            return Err("--stream supports the exact miner only".into());
-        }
+    if opt.stream && (opt.sort.is_some() || opt.top.is_some()) {
+        return Err("--stream cannot sort or truncate; drop --sort/--top".into());
     }
-    if opt.shards > 1 && (opt.mu.is_some() || opt.density.is_some()) {
-        return Err("--shards supports the exact miner only; drop --mu/--approx-density".into());
+    // Both flags parameterize the same correlation graph — one by the NMI
+    // threshold directly, one by the edge density it should achieve — so
+    // giving both is a contradiction, not a composition.
+    if opt.mu.is_some() && opt.density.is_some() {
+        return Err(
+            "--mu and --approx-density both choose the correlation graph; pick one".into(),
+        );
     }
     // A silent no-op would read as "exchange ran": candidate exchange is
     // a property of sharded runs, so asking for it without shards is a
@@ -351,13 +362,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
         );
     }
     // The shard slices overlap by t_ov = t_max; with t_max unconstrained
-    // every slice degrades to the whole series and the run silently does
-    // K redundant full-database support-complete passes.
+    // every slice degrades to the whole series. Still lossless — each
+    // shard owns its own windows, only the slices are redundant — so it
+    // is a performance note, not a usage error.
     if opt.shards > 1 && opt.t_max.is_none() {
-        return Err(
-            "--shards needs a finite --t-max: the shard overlap is t_ov = t_max, so an \
-             unconstrained t_max makes every shard cover the entire series"
-                .into(),
+        eprintln!(
+            "note: --shards without --t-max makes every shard slice span the whole \
+             series (the overlap is t_ov = t_max); output is unchanged but the slices \
+             are redundant — pass --t-max to bound them"
         );
     }
     if let Some(path) = &opt.output {
@@ -401,7 +413,9 @@ fn output_format(path: &str) -> Result<OutputFormat, String> {
 fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase, SplitConfig), String> {
     if let Some(demo) = &opt.demo {
         let d = match demo.as_str() {
-            "nist" => nist_like(opt.scale),
+            // "energy" is the paper's NIST smart-home energy dataset —
+            // an alias so the A-HTPGM examples read like the evaluation.
+            "nist" | "energy" => nist_like(opt.scale),
             "ukdale" => ukdale_like(opt.scale),
             "dataport" => dataport_like(opt.scale),
             "city" => smartcity_like(opt.scale),
@@ -440,14 +454,26 @@ fn load(opt: &Options) -> Result<(SymbolicDatabase, SequenceDatabase, SplitConfi
 /// Opens `path`, builds the sink matching its extension (labels rendered
 /// through `registry` — for sharded runs that is the plan's master
 /// registry, not the unsharded database's), hands it to `feed`, then
-/// finishes the sink. Returns the number of pattern rows/lines written.
-/// The single place the CSV/JSONL dispatch lives; I/O failures (full
-/// disk, closed pipe) surface as errors, never panics.
+/// finishes the sink. Without a path the patterns go to stdout as CSV —
+/// the `--stream`-without-`--output` pipe mode. Returns the number of
+/// pattern rows/lines written. The single place the CSV/JSONL dispatch
+/// lives; I/O failures (full disk, closed pipe) surface as errors, never
+/// panics.
 fn write_patterns(
-    path: &str,
+    path: Option<&str>,
     registry: &EventRegistry,
     feed: &mut dyn FnMut(&mut (dyn PatternSink + Send)),
 ) -> Result<u64, String> {
+    let Some(path) = path else {
+        // `Stdout` (not `StdoutLock`) so the sink stays `Send` for the
+        // parallel miners; the handle locks per write.
+        let out = BufWriter::new(std::io::stdout());
+        let mut sink = CsvSink::new(out, registry);
+        feed(&mut sink);
+        let (written, finished) = (sink.written(), sink.finish());
+        finished.map_err(|e| format!("stdout: {e}"))?;
+        return Ok(written);
+    };
     let format = output_format(path).expect("validated in parse");
     let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
     let out = BufWriter::new(file);
@@ -467,31 +493,59 @@ fn write_patterns(
     Ok(written)
 }
 
-/// Streams the mining run straight into `--output`; returns the number
-/// of patterns written, the run statistics and (for sharded runs) the
-/// per-shard reports. With a shard plan, each shard's miner streams
-/// through the deduplicating merge into the same writer sink — the full
-/// pattern set is still never materialized.
+/// The one mining plan: every `ftpm mine` run — exact or approximate,
+/// sequential or parallel, unsharded, sharded support-complete or
+/// sharded candidate-exchange, collecting or streaming — is this single
+/// dispatch over (shard plan, correlation graph, exchange, threads)
+/// feeding one sink. A-HTPGM is not a separate code path: `graph` gates
+/// the same miners the exact rows use, so every composition yields the
+/// identical pattern set.
+fn run_plan(
+    seq: &SequenceDatabase,
+    cfg: &MinerConfig,
+    threads: usize,
+    shard_plan: Option<&ShardPlan>,
+    exchange: bool,
+    graph: Option<&CorrelationGraph>,
+    sink: &mut (dyn PatternSink + Send),
+) -> (MiningStats, Vec<ShardReport>) {
+    match (shard_plan, graph) {
+        (Some(plan), Some(g)) if exchange => {
+            plan.mine_approximate_exchange_into(g, cfg, threads, sink)
+        }
+        (Some(plan), Some(g)) => plan.mine_approximate_into(g, cfg, threads, sink),
+        (Some(plan), None) if exchange => plan.mine_exchange_into(cfg, threads, sink),
+        (Some(plan), None) => plan.mine_into_reported(cfg, threads, sink),
+        (None, Some(g)) => (
+            mine_approximate_graph_with_sink(seq, g, cfg, threads, sink),
+            Vec::new(),
+        ),
+        (None, None) if threads > 1 => {
+            (mine_exact_parallel_with_sink(seq, cfg, threads, sink), Vec::new())
+        }
+        (None, None) => (mine_exact_with_sink(seq, cfg, sink), Vec::new()),
+    }
+}
+
+/// Streams the mining run straight into `--output` (stdout CSV without
+/// one); returns the number of patterns written, the run statistics and
+/// (for sharded runs) the per-shard reports. With a shard plan, each
+/// shard's miner streams through the deduplicating merge into the same
+/// writer sink — the full pattern set is still never materialized.
 fn mine_streaming(
     seq: &SequenceDatabase,
     cfg: &MinerConfig,
     threads: usize,
     shard_plan: Option<&ShardPlan>,
     exchange: bool,
-    path: &str,
+    graph: Option<&CorrelationGraph>,
+    path: Option<&str>,
 ) -> Result<(u64, MiningStats, Vec<ShardReport>), String> {
     let mut stats = MiningStats::default();
     let mut reports = Vec::new();
     let registry = shard_plan.map_or(seq.registry(), |p| p.registry());
     let written = write_patterns(path, registry, &mut |sink| {
-        (stats, reports) = match shard_plan {
-            Some(plan) if exchange => plan.mine_exchange_into(cfg, threads, sink),
-            Some(plan) => plan.mine_into_reported(cfg, threads, sink),
-            None if threads > 1 => {
-                (mine_exact_parallel_with_sink(seq, cfg, threads, sink), Vec::new())
-            }
-            None => (mine_exact_with_sink(seq, cfg, sink), Vec::new()),
-        };
+        (stats, reports) = run_plan(seq, cfg, threads, shard_plan, exchange, graph, sink);
     })?;
     Ok((written, stats, reports))
 }
@@ -546,9 +600,9 @@ fn export_result(
     reordered: bool,
 ) -> Result<u64, String> {
     if !reordered && selection.len() == result.len() {
-        return write_patterns(path, registry, &mut |sink| result.replay_into(sink));
+        return write_patterns(Some(path), registry, &mut |sink| result.replay_into(sink));
     }
-    write_patterns(path, registry, &mut |sink| {
+    write_patterns(Some(path), registry, &mut |sink| {
         sink.begin(&[]);
         for fp in selection {
             sink.node(
@@ -572,12 +626,19 @@ fn run_mine(args: &[String]) -> ExitCode {
 }
 
 /// Serializes the JSON summary — a full disk or closed pipe is a
-/// reportable I/O error (nonzero exit), not a panic.
-fn print_json(payload: &serde_json::Value) -> Result<(), String> {
+/// reportable I/O error (nonzero exit), not a panic. `to_stderr` routes
+/// the summary away from stdout when the pattern stream owns it
+/// (`--stream` without `--output`).
+fn print_json(payload: &serde_json::Value, to_stderr: bool) -> Result<(), String> {
     let text = serde_json::to_string_pretty(payload)
         .map_err(|e| format!("serializing JSON summary: {e}"))?;
-    let stdout = std::io::stdout();
-    writeln!(stdout.lock(), "{text}").map_err(|e| format!("stdout: {e}"))
+    if to_stderr {
+        let stderr = std::io::stderr();
+        writeln!(stderr.lock(), "{text}").map_err(|e| format!("stderr: {e}"))
+    } else {
+        let stdout = std::io::stdout();
+        writeln!(stdout.lock(), "{text}").map_err(|e| format!("stdout: {e}"))
+    }
 }
 
 fn try_mine(args: &[String]) -> Result<(), String> {
@@ -590,9 +651,17 @@ fn try_mine(args: &[String]) -> Result<(), String> {
     let cfg = MinerConfig::new(opt.sigma, opt.delta)
         .with_max_events(opt.max_events.max(2))
         .with_relation(relation);
-    let approx = opt.mu.is_some() || opt.density.is_some();
-    // A-HTPGM has no parallel path; report the thread count actually used.
-    let threads = if approx { 1 } else { opt.threads };
+    let threads = opt.threads;
+    // One correlation graph per run, built once on the full symbolic
+    // database: --mu sets the NMI threshold directly, --approx-density
+    // derives it from a target edge density (Def 5.6). Every execution
+    // path below — unsharded, sharded, exchange, streaming — borrows
+    // this one graph, so shards can never disagree about the gate.
+    let graph = match (opt.mu, opt.density) {
+        (Some(mu), _) => Some(CorrelationGraph::build(&syb, mu)),
+        (None, Some(d)) => Some(CorrelationGraph::build_with_density(&syb, d)),
+        (None, None) => None,
+    };
     // Shard-by-time-range plan: slices overlap by t_max so the merged
     // output equals the unsharded run (lossless under every policy).
     let shard_plan = if opt.shards > 1 {
@@ -608,16 +677,41 @@ fn try_mine(args: &[String]) -> Result<(), String> {
     // Candidate exchange is the default sharded executor; --no-exchange
     // keeps the support-complete PR 4 path for cross-validation.
     let exchange = shard_plan.is_some() && opt.exchange.unwrap_or(true);
+    let label = {
+        let core = match (&graph, opt.mu, opt.density) {
+            (Some(_), Some(mu), _) => format!("A-HTPGM(mu={mu})"),
+            (Some(g), None, Some(d)) => format!("A-HTPGM(density={d}, mu={:.3})", g.mu()),
+            _ => "E-HTPGM".to_owned(),
+        };
+        match &shard_plan {
+            Some(plan) => format!(
+                "{core}[{} shards{}]",
+                plan.shards().len(),
+                if exchange { ", exchange" } else { "" }
+            ),
+            None => core,
+        }
+    };
 
     let started = std::time::Instant::now();
     if opt.stream {
-        let path = opt.output.as_ref().expect("validated in parse");
-        let (written, stats, reports) =
-            mine_streaming(&seq, &cfg, threads, shard_plan.as_ref(), exchange, path)?;
+        let path = opt.output.as_deref();
+        let (written, stats, reports) = mine_streaming(
+            &seq,
+            &cfg,
+            threads,
+            shard_plan.as_ref(),
+            exchange,
+            graph.as_ref(),
+            path,
+        )?;
         let elapsed = started.elapsed();
+        // Streaming to stdout hands the pattern CSV the stream; the
+        // run summary moves to stderr so the output stays parseable.
+        let to_stderr = path.is_none();
         if opt.json {
             let mut payload = serde_json::json!({
-                "miner": "E-HTPGM",
+                "miner": label,
                 "sequences": seq.len(),
                 "distinct_events": seq.registry().len(),
                 "threads": threads,
@@ -628,62 +722,55 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 "discarded_instances": stats.discarded_instances,
                 "elapsed_ms": elapsed.as_millis() as u64,
                 "pattern_count": written,
-                "output": path.as_str(),
+                "output": path.unwrap_or("-"),
                 "streamed": true,
             });
-            if let (false, serde_json::Value::Object(entries)) = (reports.is_empty(), &mut payload)
-            {
-                entries.push(("shard_reports".to_string(), shard_reports_json(&reports)));
+            if let serde_json::Value::Object(entries) = &mut payload {
+                if let Some(g) = &graph {
+                    entries.push(("mu".to_string(), serde_json::Value::from(g.mu())));
+                }
+                if !reports.is_empty() {
+                    entries.push(("shard_reports".to_string(), shard_reports_json(&reports)));
+                }
             }
-            print_json(&payload)?;
+            print_json(&payload, to_stderr)?;
         } else {
             let stdout = std::io::stdout();
-            let mut out = stdout.lock();
+            let stderr = std::io::stderr();
+            let mut out: Box<dyn std::io::Write> = if to_stderr {
+                Box::new(stderr.lock())
+            } else {
+                Box::new(stdout.lock())
+            };
             writeln!(
                 out,
-                "E-HTPGM: {} sequences, {} distinct events ({} boundary-clipped \
-                 instances, boundary={}), {written} patterns streamed to {path} \
-                 in {elapsed:.1?} ({threads} threads, {shards} shards{})",
+                "{label}: {} sequences, {} distinct events ({} boundary-clipped \
+                 instances, boundary={}), {written} patterns streamed to {} \
+                 in {elapsed:.1?} ({threads} threads)",
                 seq.len(),
                 seq.registry().len(),
                 stats.clipped_instances,
                 opt.boundary,
-                if exchange { ", candidate exchange" } else { "" },
+                path.unwrap_or("stdout"),
             )
-            .map_err(|e| format!("stdout: {e}"))?;
+            .map_err(|e| format!("summary: {e}"))?;
             write_shard_reports(&mut out, &reports)?;
         }
         return Ok(());
     }
 
-    let mut shard_reports: Vec<ShardReport> = Vec::new();
-    let (result, label) = if let Some(mu) = opt.mu {
-        (mine_approximate(&syb, &seq, mu, &cfg).result, format!("A-HTPGM(mu={mu})"))
-    } else if let Some(plan) = &shard_plan {
+    let (result, shard_reports) = {
         let mut sink = CollectSink::new();
-        let (stats, reports) = if exchange {
-            plan.mine_exchange_into(&cfg, threads, &mut sink)
-        } else {
-            plan.mine_into_reported(&cfg, threads, &mut sink)
-        };
-        shard_reports = reports;
-        (
-            sink.into_result(stats),
-            format!(
-                "E-HTPGM[{} shards{}]",
-                plan.shards().len(),
-                if exchange { ", exchange" } else { "" }
-            ),
-        )
-    } else if let Some(d) = opt.density {
-        (
-            mine_approximate_with_density(&syb, &seq, d, &cfg).result,
-            format!("A-HTPGM(density={d})"),
-        )
-    } else if threads > 1 {
-        (mine_exact_parallel(&seq, &cfg, threads), "E-HTPGM".to_owned())
-    } else {
-        (mine_exact(&seq, &cfg), "E-HTPGM".to_owned())
+        let (stats, reports) = run_plan(
+            &seq,
+            &cfg,
+            threads,
+            shard_plan.as_ref(),
+            exchange,
+            graph.as_ref(),
+            &mut sink,
+        );
+        (sink.into_result(stats), reports)
     };
     let elapsed = started.elapsed();
     // Sharded results are expressed in the plan's master registry; shard
@@ -722,6 +809,9 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             })).collect::<Vec<_>>(),
         });
         if let serde_json::Value::Object(entries) = &mut payload {
+            if let Some(g) = &graph {
+                entries.push(("mu".to_string(), serde_json::Value::from(g.mu())));
+            }
             if !shard_reports.is_empty() {
                 entries.push((
                     "shard_reports".to_string(),
@@ -732,7 +822,7 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                 entries.push(("output".to_string(), serde_json::Value::from(*path)));
             }
         }
-        print_json(&payload)?;
+        print_json(&payload, false)?;
     } else {
         let shown = if selection.len() < result.len() {
             format!(" (showing {})", selection.len())

@@ -11,7 +11,7 @@
 //! | symbols → event sequences | `ftpm-events` | [`to_sequence_database`], [`SplitConfig`], [`SequenceDatabase`] |
 //! | exact mining | `ftpm-core` | [`mine_exact`], [`mine_exact_parallel`], [`MinerConfig`] |
 //! | streaming output | `ftpm-core` | [`PatternSink`], [`mine_exact_with_sink`], [`CsvSink`], [`JsonlSink`] |
-//! | MI-approximate mining | `ftpm-core` + `ftpm-mi` | [`mine_approximate`], [`CorrelationGraph`], [`confidence_lower_bound`] |
+//! | MI-approximate mining | `ftpm-core` + `ftpm-mi` | [`mine_approximate`], [`mine_approximate_parallel`], [`mine_approximate_sharded_exchange`], [`CorrelationGraph`], [`confidence_lower_bound`] |
 //! | baselines | `ftpm-baselines` | [`mine_tpminer`], [`mine_ieminer`], [`mine_hdfs`] |
 //! | synthetic data | `ftpm-datagen` | [`nist_like`], [`smartcity_like`], … |
 //!
@@ -47,13 +47,16 @@ pub use csv::parse_csv;
 pub use ftpm_baselines::{mine_hdfs, mine_ieminer, mine_tpminer};
 pub use ftpm_bitmap::Bitmap;
 pub use ftpm_core::{
-    closed_patterns, event_indicator_database, maximal_patterns, pattern_lift, rank_patterns,
-    top_k_by_lift, mine_approximate, mine_approximate_event_level,
-    mine_approximate_with_density, mine_exact, mine_exact_parallel,
-    mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference, mine_sharded,
-    mine_sharded_exchange, ApproxOutcome, CollectSink, CountingSink, CsvSink, DatabaseIndex,
-    FrequentPattern, HierarchicalPatternGraph, JsonlSink, MergeSink, MinerConfig, MiningResult,
-    MiningStats, Pattern, PatternSink, PatternSort, PruningConfig, Shard, ShardMerge, ShardPlan,
+    closed_patterns, correlation_filter, event_indicator_database, maximal_patterns,
+    pattern_lift, rank_patterns, top_k_by_lift, mine_approximate,
+    mine_approximate_event_level, mine_approximate_graph_with_sink, mine_approximate_parallel,
+    mine_approximate_parallel_with_sink, mine_approximate_sharded_exchange,
+    mine_approximate_with_density, mine_approximate_with_sink, mine_exact, mine_exact_parallel,
+    mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference,
+    mine_reference_filtered, mine_sharded, mine_sharded_exchange, ApproxOutcome, CollectSink,
+    CorrelationFilter, CountingSink, CsvSink, DatabaseIndex, FrequentPattern,
+    HierarchicalPatternGraph, JsonlSink, MergeSink, MinerConfig, MiningResult, MiningStats,
+    Pattern, PatternSink, PatternSort, PruningConfig, Shard, ShardMerge, ShardPlan,
     ShardPlanner, ShardReport, ShardedMining,
 };
 pub use ftpm_datagen::{
