@@ -35,6 +35,12 @@ pub struct Report {
     /// Number of `.rs` files lexed.
     pub files_scanned: usize,
     pub violations: Vec<Violation>,
+    /// Non-fatal findings — today, stale allow markers (promoted to
+    /// `violations` under `--strict-allows`).
+    pub warnings: Vec<Violation>,
+    /// Analyzer-side failures (unreadable files, bad roots) — these are
+    /// *not* lint findings and map to a distinct exit code.
+    pub internal_errors: Vec<String>,
     pub allows: Vec<AllowRecord>,
 }
 
@@ -51,20 +57,25 @@ impl Report {
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
         // lint: allow(write_discard, fmt::Write to String is infallible)
         let _ = writeln!(s, "  \"violation_count\": {},", self.violations.len());
+        // lint: allow(write_discard, fmt::Write to String is infallible)
+        let _ = writeln!(s, "  \"warning_count\": {},", self.warnings.len());
+        // lint: allow(write_discard, fmt::Write to String is infallible)
+        let _ = writeln!(
+            s,
+            "  \"internal_error_count\": {},",
+            self.internal_errors.len()
+        );
         s.push_str("  \"violations\": [");
-        for (i, v) in self.violations.iter().enumerate() {
+        write_violations(&mut s, &self.violations);
+        s.push_str("],\n  \"warnings\": [");
+        write_violations(&mut s, &self.warnings);
+        s.push_str("],\n  \"internal_errors\": [");
+        for (i, e) in self.internal_errors.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             // lint: allow(write_discard, fmt::Write to String is infallible)
-            let _ = write!(
-                s,
-                "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
-                json_str(&v.rule),
-                json_str(&v.file),
-                v.line,
-                json_str(&v.message)
-            );
+            let _ = write!(s, "{sep}\n    {}", json_str(e));
         }
-        if !self.violations.is_empty() {
+        if !self.internal_errors.is_empty() {
             s.push_str("\n  ");
         }
         s.push_str("],\n  \"allows\": [");
@@ -85,6 +96,25 @@ impl Report {
         }
         s.push_str("]\n}\n");
         s
+    }
+}
+
+/// Writes one violation array body (shared by `violations`/`warnings`).
+fn write_violations(s: &mut String, list: &[Violation]) {
+    for (i, v) in list.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        // lint: allow(write_discard, fmt::Write to String is infallible)
+        let _ = write!(
+            s,
+            "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(&v.rule),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.message)
+        );
+    }
+    if !list.is_empty() {
+        s.push_str("\n  ");
     }
 }
 
@@ -127,13 +157,25 @@ mod tests {
             line: 7,
             message: "a \"quoted\"\nmessage".into(),
         });
+        r.warnings.push(Violation {
+            rule: "stale_allow".into(),
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            message: "allow(panic) suppresses nothing".into(),
+        });
+        r.internal_errors.push("crates/core/src/bad.rs: not UTF-8".into());
         let j = r.to_json();
         assert!(j.contains("\"violation_count\": 1"));
+        assert!(j.contains("\"warning_count\": 1"));
+        assert!(j.contains("\"internal_error_count\": 1"));
         assert!(j.contains("\\\"quoted\\\"\\nmessage"));
         assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("suppresses nothing"));
         // Empty arrays stay well-formed.
         let empty = Report::default().to_json();
         assert!(empty.contains("\"violations\": []"));
+        assert!(empty.contains("\"warnings\": []"));
+        assert!(empty.contains("\"internal_errors\": []"));
         assert!(empty.contains("\"allows\": []"));
     }
 }

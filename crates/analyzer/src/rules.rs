@@ -49,6 +49,8 @@
 //! `unsafe`, `write_discard`, `filter_confinement`. The reason is
 //! mandatory — a bare allow does not suppress.
 
+use std::cell::Cell;
+
 use crate::lexer::{lex, Lexed, TokenKind};
 use crate::report::Violation;
 
@@ -101,12 +103,15 @@ impl FileContext {
     }
 }
 
-/// One parsed `// lint: allow(rule, reason)` marker.
+/// One parsed `// lint: allow(rule, reason)` marker. `used` latches when
+/// the marker actually suppresses a finding; the stale-allow audit
+/// reports markers that never fire.
 #[derive(Debug, Clone)]
 pub struct Allow {
     pub rule: String,
     pub reason: String,
     pub line: u32,
+    pub used: Cell<bool>,
 }
 
 /// Extracts allow markers from the file's comments. Markers without a
@@ -126,6 +131,7 @@ pub fn collect_allows(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Violation>
                 rule: rule.trim().to_string(),
                 reason: reason.trim().to_string(),
                 line: c.line,
+                used: Cell::new(false),
             }),
             _ => out.push(Violation {
                 rule: "marker".into(),
@@ -143,16 +149,22 @@ pub fn collect_allows(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Violation>
 }
 
 /// True if `rule` is allowed on `line` (marker on the same line or the
-/// line directly above).
-fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
-    allows
-        .iter()
-        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+/// line directly above). Marks every matching marker as used, feeding
+/// the stale-allow audit.
+pub(crate) fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
+    let mut hit = false;
+    for a in allows {
+        if a.rule == rule && (a.line == line || a.line + 1 == line) {
+            a.used.set(true);
+            hit = true;
+        }
+    }
+    hit
 }
 
 /// Byte ranges of test code inside a non-test source file: bodies of
 /// items annotated `#[cfg(test)]` or `#[test]`.
-fn test_regions(src: &str, lexed: &Lexed) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(src: &str, lexed: &Lexed) -> Vec<(usize, usize)> {
     let toks = &lexed.tokens;
     let mut regions = Vec::new();
     let mut i = 0usize;
@@ -239,21 +251,35 @@ fn test_regions(src: &str, lexed: &Lexed) -> Vec<(usize, usize)> {
     regions
 }
 
-/// Runs every applicable rule over one source file.
+/// Runs every applicable per-file rule over one source file.
 pub fn check_source(src: &str, ctx: &FileContext) -> Vec<Violation> {
     let lexed = lex(src);
     let mut out = Vec::new();
     let allows = collect_allows(&lexed, ctx, &mut out);
     let tests = test_regions(src, &lexed);
+    check_source_with(src, &lexed, ctx, &allows, &tests, &mut out);
+    out
+}
+
+/// The per-file rules (R1–R6) over pre-computed lex/allow/test-region
+/// state, so the workspace driver can share `allows` with the
+/// whole-program rules and the stale-allow audit.
+pub(crate) fn check_source_with(
+    src: &str,
+    lexed: &Lexed,
+    ctx: &FileContext,
+    allows: &[Allow],
+    tests: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
     let in_test = |pos: usize| tests.iter().any(|&(s, e)| pos >= s && pos < e);
 
-    rule_and_count(src, &lexed, ctx, &allows, &in_test, &mut out);
-    rule_panic(src, &lexed, ctx, &allows, &in_test, &mut out);
-    rule_boundary_match(src, &lexed, ctx, &allows, &mut out);
-    rule_unsafe(src, &lexed, ctx, &allows, &mut out);
-    rule_write_discard(src, &lexed, ctx, &allows, &mut out);
-    rule_filter_confinement(src, &lexed, ctx, &allows, &in_test, &mut out);
-    out
+    rule_and_count(src, lexed, ctx, allows, &in_test, out);
+    rule_panic(src, lexed, ctx, allows, &in_test, out);
+    rule_boundary_match(src, lexed, ctx, allows, out);
+    rule_unsafe(src, lexed, ctx, allows, out);
+    rule_write_discard(src, lexed, ctx, allows, out);
+    rule_filter_confinement(src, lexed, ctx, allows, &in_test, out);
 }
 
 /// Files allowed to construct a `CorrelationFilter` under R6: the

@@ -1,0 +1,6 @@
+//! R10 fixture (clean): `parallel.rs` is a permitted home for
+//! concurrency primitives.
+
+pub struct WorkQueue {
+    jobs: std::sync::Mutex<Vec<u32>>,
+}

@@ -1,0 +1,6 @@
+//! R10 fixture (flagged): a concurrency primitive outside the
+//! parallel/executor/schedule modules.
+
+pub struct WorkQueue {
+    jobs: std::sync::Mutex<Vec<u32>>,
+}

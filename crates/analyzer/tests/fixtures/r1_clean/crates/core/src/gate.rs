@@ -1,0 +1,5 @@
+//! R1 fixture (clean): the same gate through the fused kernel.
+
+pub fn joint_support(a: &Bitmap, b: &Bitmap) -> usize {
+    a.and_count(b)
+}

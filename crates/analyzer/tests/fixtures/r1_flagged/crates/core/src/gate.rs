@@ -1,0 +1,6 @@
+//! R1 fixture (flagged): an apriori gate spelled with the unfused form,
+//! allocating an intermediate bitmap on the miner's hottest path.
+
+pub fn joint_support(a: &Bitmap, b: &Bitmap) -> usize {
+    a.and(b).count_ones()
+}

@@ -1,0 +1,5 @@
+//! R2 fixture (clean): the same accessor with a total fallback.
+
+pub fn first_window(starts: &[u32]) -> u32 {
+    starts.first().copied().unwrap_or(0)
+}

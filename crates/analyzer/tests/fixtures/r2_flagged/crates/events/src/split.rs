@@ -1,0 +1,5 @@
+//! R2 fixture (flagged): a panic on user data in a panic-free crate.
+
+pub fn first_window(starts: &[u32]) -> u32 {
+    *starts.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! R3 fixture (clean): every variant named, so a new policy is a
+//! compile error at this decision point.
+
+pub fn weight(policy: BoundaryPolicy) -> u32 {
+    match policy {
+        BoundaryPolicy::Clip => 1,
+        BoundaryPolicy::Discard => 0,
+        BoundaryPolicy::TrueExtent => 2,
+    }
+}

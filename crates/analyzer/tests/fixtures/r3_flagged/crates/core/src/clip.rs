@@ -1,0 +1,9 @@
+//! R3 fixture (flagged): a `BoundaryPolicy` match with a wildcard arm —
+//! adding a fourth policy would silently fall through here.
+
+pub fn weight(policy: BoundaryPolicy) -> u32 {
+    match policy {
+        BoundaryPolicy::Clip => 1,
+        _ => 0,
+    }
+}

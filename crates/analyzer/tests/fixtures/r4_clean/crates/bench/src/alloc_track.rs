@@ -1,0 +1,8 @@
+//! R4 fixture (clean): the global-allocator shim is the one permitted
+//! home of `unsafe`.
+
+pub fn zero(p: *mut u8) {
+    unsafe {
+        *p = 0;
+    }
+}

@@ -1,0 +1,7 @@
+//! R4 fixture (flagged): `unsafe` outside the allocator shim.
+
+pub fn zero(p: *mut u8) {
+    unsafe {
+        *p = 0;
+    }
+}

@@ -1,0 +1,5 @@
+//! R5 fixture (clean): the write result propagates to the caller.
+
+pub fn dump<W: std::io::Write>(w: &mut W) -> std::io::Result<()> {
+    writeln!(w, "patterns")
+}

@@ -1,0 +1,5 @@
+//! R5 fixture (flagged): a sink write whose result is discarded.
+
+pub fn dump<W: std::io::Write>(w: &mut W) {
+    let _ = writeln!(w, "patterns");
+}

@@ -1,0 +1,5 @@
+//! R6 fixture (clean): the approx module is the construction seam.
+
+pub fn rebuild(allowed: AllowedSet, edges: EdgeSet) -> CorrelationFilter {
+    CorrelationFilter::new(allowed, edges)
+}

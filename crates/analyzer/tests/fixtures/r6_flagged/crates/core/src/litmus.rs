@@ -1,0 +1,7 @@
+//! R6 fixture (flagged): a `CorrelationFilter` assembled outside the
+//! approx seam — this copy can silently disagree with the L1/L2 gates
+//! every other A-HTPGM path consumes.
+
+pub fn rebuild(allowed: AllowedSet, edges: EdgeSet) -> CorrelationFilter {
+    CorrelationFilter::new(allowed, edges)
+}

@@ -1,0 +1,10 @@
+//! R7 fixture (clean): the kernel and its helper stay pure — word-level
+//! arithmetic only, nothing transitively allocates or panics.
+
+pub fn and_count(a: &[u64], b: &[u64]) -> u32 {
+    fused(a, b)
+}
+
+fn fused(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x & y).count_ones()).sum()
+}

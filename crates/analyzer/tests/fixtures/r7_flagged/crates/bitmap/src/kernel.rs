@@ -1,0 +1,11 @@
+//! R7 fixture (flagged): the CSA kernel reaches a formatting allocation
+//! through a helper — transient allocation on the hot path.
+
+pub fn and_count(a: &[u64], b: &[u64]) -> u32 {
+    fused(a, b)
+}
+
+fn fused(a: &[u64], b: &[u64]) -> u32 {
+    let label = format!("{}w", a.len().min(b.len()));
+    label.len() as u32
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! R8 fixture (clean): every core export is re-exported by the facade.
+
+mod widget;
+
+pub use widget::{Gadget, Widget};

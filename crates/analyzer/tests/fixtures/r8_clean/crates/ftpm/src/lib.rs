@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! The facade covers the whole core surface.
+
+pub use ftpm_core::{Gadget, Widget};

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! R8 fixture (flagged): core exports `Widget` and `Gadget`, but the
+//! facade below re-exports only `Gadget`.
+
+mod widget;
+
+pub use widget::{Gadget, Widget};

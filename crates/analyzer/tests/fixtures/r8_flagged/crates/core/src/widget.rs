@@ -1,0 +1,2 @@
+pub struct Widget;
+pub struct Gadget;

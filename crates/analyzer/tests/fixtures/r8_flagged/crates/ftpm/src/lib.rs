@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! The facade forgot `Widget`.
+
+pub use ftpm_core::Gadget;

@@ -1,0 +1,7 @@
+//! R9 fixture (flagged): a public miner that never routes through the
+//! `mine_internal` seam family — it would bypass the shared sink,
+//! boundary and correlation plumbing.
+
+pub fn mine_rogue(windows: &[u32]) -> usize {
+    windows.len()
+}

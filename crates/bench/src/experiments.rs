@@ -1311,3 +1311,216 @@ fn scalability(name: &str, data: &Dataset, opts: &Opts, by_sequences: bool) {
     }
     report.finish();
 }
+
+/// Systematic schedule sweep (beyond the paper; ROADMAP "deterministic
+/// schedule checking"): [`ftpm_core::Explorer`] walks *every* two-worker
+/// interleaving of the parallel miner and of the candidate-exchange
+/// executor on a small on/off workload — each run's output must be
+/// bit-identical to the single-threaded baseline — then every
+/// at-most-one-preemption interleaving at four workers (the regime
+/// scheduler bugs live in; K = 4 is too wide to exhaust outright).
+/// Writes `results/schedule_sweep.{csv,json}` and returns whether every
+/// sweep was exhaustive, uncapped and divergence-free (the CI gate).
+pub fn schedule_sweep() -> bool {
+    use std::collections::HashMap;
+
+    use ftpm_core::{ExploreStats, Explorer, MiningResult, Schedule, ShardPlanner};
+    use ftpm_events::{
+        to_sequence_database, BoundaryPolicy, EventRegistry, RelationConfig, SplitConfig,
+    };
+    use ftpm_timeseries::{Alphabet, SymbolId, SymbolicDatabase, SymbolicSeries};
+
+    // Deterministic pseudo-random on/off database (xorshift64*), the
+    // generator idiom of the schedule-invariance tests. The workload must
+    // stay tiny: the interleaving space is exponential in the number of
+    // contended task claims, and the whole point is to exhaust it.
+    fn random_syb(seed: u64, vars: usize, n_steps: usize, max_run: u64) -> SymbolicDatabase {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        let mut db = SymbolicDatabase::new(0, 5, n_steps);
+        for v in 0..vars {
+            let mut symbols = Vec::with_capacity(n_steps);
+            let mut sym = SymbolId((next() % 2) as u16);
+            while symbols.len() < n_steps {
+                let run = 1 + (next() % max_run) as usize;
+                for _ in 0..run.min(n_steps - symbols.len()) {
+                    symbols.push(sym);
+                }
+                sym = SymbolId(1 - sym.0);
+            }
+            db.push(SymbolicSeries::new(
+                format!("V{v}"),
+                Alphabet::on_off(),
+                symbols,
+            ));
+        }
+        db
+    }
+
+    type Labelled = HashMap<String, (usize, f64, usize)>;
+    fn labelled(result: &MiningResult, reg: &EventRegistry) -> Labelled {
+        result
+            .patterns
+            .iter()
+            .map(|p| {
+                (
+                    p.pattern.display(reg).to_string(),
+                    (p.support, p.confidence, p.clipped_occurrences),
+                )
+            })
+            .collect()
+    }
+    fn divergence(base: &Labelled, other: &Labelled) -> Option<String> {
+        for (label, (supp, conf, clipped)) in base {
+            match other.get(label) {
+                None => return Some(format!("lost pattern {label}")),
+                Some((s, c, cl)) => {
+                    if s != supp || (c - conf).abs() >= 1e-9 || cl != clipped {
+                        return Some(format!("stats diverged on {label}"));
+                    }
+                }
+            }
+        }
+        if base.len() != other.len() {
+            return Some(format!(
+                "fabricated patterns: {} vs baseline {}",
+                other.len(),
+                base.len()
+            ));
+        }
+        None
+    }
+
+    let cfg = MinerConfig::new(0.3, 0.4)
+        .with_max_events(3)
+        .with_relation(RelationConfig::new(0, 1, 60).with_boundary(BoundaryPolicy::TrueExtent));
+    println!("Schedule sweep: systematic interleaving exploration (mini-loom)\n");
+
+    let mut report = Report::new(
+        "schedule_sweep",
+        &[
+            "sweep", "workers", "preemption_bound", "schedules", "distinct_traces",
+            "max_decisions", "exhausted", "capped", "equal", "seconds",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    let mut all_ok = true;
+    let mut record = |name: &str,
+                      workers: usize,
+                      bound: Option<usize>,
+                      outcome: Result<ExploreStats, String>,
+                      elapsed: std::time::Duration| {
+        let bound_cell = bound.map_or("none".to_owned(), |b| b.to_string());
+        let bound_json = bound.map_or("null".to_owned(), |b| b.to_string());
+        let (stats, equal) = match outcome {
+            Ok(stats) => (stats, true),
+            Err(why) => {
+                eprintln!("schedule sweep {name}: {why}");
+                (
+                    ExploreStats {
+                        schedules: 0,
+                        distinct_traces: 0,
+                        max_decisions: 0,
+                        exhausted: false,
+                        capped: false,
+                    },
+                    false,
+                )
+            }
+        };
+        let ok = equal && stats.exhausted && !stats.capped;
+        all_ok = all_ok && ok;
+        report.row(vec![
+            name.to_owned(),
+            workers.to_string(),
+            bound_cell,
+            stats.schedules.to_string(),
+            stats.distinct_traces.to_string(),
+            stats.max_decisions.to_string(),
+            stats.exhausted.to_string(),
+            stats.capped.to_string(),
+            equal.to_string(),
+            secs(elapsed),
+        ]);
+        json_rows.push(format!(
+            "    {{\"sweep\": \"{name}\", \"workers\": {workers}, \
+             \"preemption_bound\": {bound_json}, \"schedules\": {}, \
+             \"distinct_traces\": {}, \"max_decisions\": {}, \
+             \"exhausted\": {}, \"capped\": {}, \"equal\": {equal}}}",
+            stats.schedules, stats.distinct_traces, stats.max_decisions,
+            stats.exhausted, stats.capped,
+        ));
+    };
+
+    // Sweep 1: every 2-worker interleaving of the parallel miner.
+    let syb = random_syb(42, 2, 60, 5);
+    let seq = to_sequence_database(&syb, SplitConfig::new(30, 0));
+    let base = labelled(&mine_exact(&seq, &cfg), seq.registry());
+    let (outcome, elapsed) = time(|| {
+        Explorer::new(2).with_max_schedules(50_000).explore(|sched: &Schedule| {
+            let run = sched.mine_parallel(&seq, &cfg);
+            match divergence(&base, &labelled(&run, seq.registry())) {
+                None => Ok(()),
+                Some(d) => Err(format!("parallel trace {:?}: {d}", sched.trace())),
+            }
+        })
+    });
+    record("parallel", 2, None, outcome, elapsed);
+
+    // Sweep 2: every 2-worker interleaving of the exchange executor's
+    // propose -> gate -> expand rounds across 2 shards.
+    let syb_x = random_syb(7, 2, 100, 6);
+    let split = SplitConfig::new(50, 0);
+    let seq_x = to_sequence_database(&syb_x, split);
+    let base_x = labelled(&mine_exact(&seq_x, &cfg), seq_x.registry());
+    let plan = ShardPlanner::new(2)
+        .plan(&syb_x, split, cfg.relation.t_max)
+        .expect("valid shard geometry");
+    let (outcome, elapsed) = time(|| {
+        Explorer::new(2).with_max_schedules(50_000).explore(|sched: &Schedule| {
+            let (run, _) = sched.mine_exchange(&plan, &cfg);
+            match divergence(&base_x, &labelled(&run, plan.registry())) {
+                None => Ok(()),
+                Some(d) => Err(format!("exchange trace {:?}: {d}", sched.trace())),
+            }
+        })
+    });
+    record("exchange", 2, None, outcome, elapsed);
+
+    // Sweep 3: 4 workers under a preemption bound of 1 — exhaustive
+    // *within the bound*.
+    let (outcome, elapsed) = time(|| {
+        Explorer::new(4)
+            .with_preemption_bound(1)
+            .with_max_schedules(50_000)
+            .explore(|sched: &Schedule| {
+                let run = sched.mine_parallel(&seq, &cfg);
+                match divergence(&base, &labelled(&run, seq.registry())) {
+                    None => Ok(()),
+                    Some(d) => Err(format!("bounded trace {:?}: {d}", sched.trace())),
+                }
+            })
+    });
+    record("parallel_bounded", 4, Some(1), outcome, elapsed);
+
+    report.finish();
+
+    // Machine-readable summary for the CI schedule-sweep gate.
+    let json = format!(
+        "{{\n  \"experiment\": \"schedule_sweep\",\n  \
+         \"explorer\": \"dfs, symmetry-reduced, state-hash deduplicated\",\n  \
+         \"schedule_sweep_ok\": {all_ok},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/schedule_sweep.json", json) {
+        Ok(()) => println!("wrote results/schedule_sweep.json"),
+        Err(e) => eprintln!("could not write results/schedule_sweep.json: {e}"),
+    }
+    all_ok
+}

@@ -158,7 +158,6 @@ mod tests {
         let (a, b) = (EventId(0), EventId(1));
         assert_eq!(
             idx.joint_support(a, b),
-            // lint: allow(and_count, equivalence test against the fused path)
             idx.bitmap(a).and(idx.bitmap(b)).count_ones()
         );
         assert_eq!(idx.joint_support(a, b), 1); // both only co-occur in seq 0

@@ -96,7 +96,7 @@ pub use merge::{MergeSink, ShardMerge};
 pub use pattern::Pattern;
 pub use reference::{mine_reference, mine_reference_filtered};
 pub use result::{FrequentPattern, MiningResult, MiningStats};
-pub use schedule::Schedule;
+pub use schedule::{ExploreStats, Explorer, Schedule};
 pub use executor::ShardReport;
 pub use shard::{
     mine_approximate_sharded_exchange, mine_sharded, mine_sharded_exchange, Shard, ShardPlan,

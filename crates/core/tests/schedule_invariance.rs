@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use ftpm_core::{mine_exact, MinerConfig, MiningResult, Schedule, ShardPlanner};
+use ftpm_core::{mine_exact, Explorer, MinerConfig, MiningResult, Schedule, ShardPlanner};
 use ftpm_events::{
     to_sequence_database, BoundaryPolicy, EventRegistry, RelationConfig, SplitConfig,
 };
@@ -167,6 +167,97 @@ fn exchange_executor_output_is_schedule_invariant() {
         "expected >= 50 distinct interleavings, got {}",
         traces.len()
     );
+}
+
+/// K=2 is small enough to visit *every* interleaving: the explorer's
+/// DFS must exhaust the space (not hit its schedule cap) with the output
+/// bit-identical to the single-threaded baseline on every trace.
+#[test]
+fn explorer_exhausts_two_worker_parallel_interleavings() {
+    let syb = random_syb(42, 2, 60, 5, 5);
+    let seq = to_sequence_database(&syb, SplitConfig::new(30, 0));
+    let cfg = cfg();
+    let base = labelled(&mine_exact(&seq, &cfg), seq.registry());
+    assert!(!base.is_empty(), "baseline must find patterns to compare");
+
+    let stats = Explorer::new(2)
+        .with_max_schedules(20_000)
+        .explore(|sched| {
+            let run = sched.mine_parallel(&seq, &cfg);
+            assert_equivalent(
+                &base,
+                &labelled(&run, seq.registry()),
+                &format!("exhaustive parallel trace={:?}", sched.trace()),
+            );
+            Ok::<(), String>(())
+        })
+        .expect("every interleaving matches the baseline");
+    eprintln!("parallel K=2 exhaustive: {stats:?}");
+    assert!(stats.exhausted && !stats.capped, "{stats:?}");
+    assert!(stats.schedules > 10, "space must branch: {stats:?}");
+    assert_eq!(
+        stats.distinct_traces, stats.schedules,
+        "symmetry reduction never replays a trace: {stats:?}"
+    );
+}
+
+/// Same exhaustive sweep over the candidate-exchange executor's
+/// propose → gate → expand rounds at K=2 shard workers.
+#[test]
+fn explorer_exhausts_two_worker_exchange_interleavings() {
+    let syb = random_syb(7, 2, 100, 5, 6);
+    let split = SplitConfig::new(50, 0);
+    let seq = to_sequence_database(&syb, split);
+    let cfg = cfg();
+    let base = labelled(&mine_exact(&seq, &cfg), seq.registry());
+    assert!(!base.is_empty(), "baseline must find patterns to compare");
+    let plan = ShardPlanner::new(2)
+        .plan(&syb, split, cfg.relation.t_max)
+        .expect("valid shard geometry");
+
+    let stats = Explorer::new(2)
+        .with_max_schedules(20_000)
+        .explore(|sched| {
+            let (run, _) = sched.mine_exchange(&plan, &cfg);
+            assert_equivalent(
+                &base,
+                &labelled(&run, plan.registry()),
+                &format!("exhaustive exchange trace={:?}", sched.trace()),
+            );
+            Ok::<(), String>(())
+        })
+        .expect("every interleaving matches the baseline");
+    eprintln!("exchange K=2 exhaustive: {stats:?}");
+    assert!(stats.exhausted && !stats.capped, "{stats:?}");
+    assert!(stats.schedules > 10, "space must branch: {stats:?}");
+}
+
+/// K=4 is too wide to exhaust outright; a preemption bound of 1 keeps
+/// the sweep exhaustive *within the bound* — every at-most-one-switch
+/// interleaving — which is the regime scheduler bugs live in.
+#[test]
+fn explorer_bounded_preemption_covers_four_workers() {
+    let syb = random_syb(42, 2, 60, 5, 5);
+    let seq = to_sequence_database(&syb, SplitConfig::new(30, 0));
+    let cfg = cfg();
+    let base = labelled(&mine_exact(&seq, &cfg), seq.registry());
+
+    let stats = Explorer::new(4)
+        .with_preemption_bound(1)
+        .with_max_schedules(20_000)
+        .explore(|sched| {
+            let run = sched.mine_parallel(&seq, &cfg);
+            assert_equivalent(
+                &base,
+                &labelled(&run, seq.registry()),
+                &format!("bounded parallel trace={:?}", sched.trace()),
+            );
+            Ok::<(), String>(())
+        })
+        .expect("every bounded interleaving matches the baseline");
+    eprintln!("parallel K=4 bounded: {stats:?}");
+    assert!(stats.exhausted && !stats.capped, "{stats:?}");
+    assert!(stats.schedules > 10, "space must branch: {stats:?}");
 }
 
 #[test]

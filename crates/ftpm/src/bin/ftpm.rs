@@ -70,7 +70,7 @@ USAGE:
              [--output FILE.{{csv,jsonl}}] [--stream]
              [--sort support|confidence] [--top N] [--json]
   ftpm graph [--input FILE.csv | --demo ...] [--mu F] [--scale F]
-  ftpm lint  [--root DIR] [--json FILE]
+  ftpm lint  [--root DIR] [--json FILE] [--strict-allows]
 
 OPTIONS:
   --input FILE       CSV with a time column followed by numeric variables
@@ -118,20 +118,27 @@ OPTIONS:
   --json             machine-readable summary output
 
 LINT:
-  ftpm lint runs the ftpm-analyzer workspace invariant linter (fused
-  and_count usage, panic-free library crates, exhaustive BoundaryPolicy
-  matches, unsafe confinement, checked sink writes, correlation-filter
-  confinement). --root overrides workspace discovery; --json writes a
-  machine-readable report."
+  ftpm lint runs the ftpm-analyzer workspace invariant linter: per-file
+  rules R1-R6 (fused and_count usage, panic-free library crates,
+  exhaustive BoundaryPolicy matches, unsafe confinement, checked sink
+  writes, correlation-filter confinement) plus whole-program rules
+  R7-R10 over the workspace item graph (hot-path purity, facade
+  coverage, sink-seam discipline, concurrency confinement). Stale
+  `// lint: allow(..)` markers are warnings (--strict-allows makes them
+  errors). --root overrides workspace discovery; --json writes a
+  machine-readable report. Exit codes: 0 clean, 2 violations found,
+  1 analyzer internal error."
     );
 }
 
 /// `ftpm lint` — the workspace invariant linter, also available as
-/// `cargo run -p ftpm-analyzer`. Exits non-zero when violations exist so
-/// it can gate CI.
+/// `cargo run -p ftpm-analyzer`. Exit codes: 0 clean, 2 violations
+/// found, 1 analyzer internal error (unreadable files, bad flags) — so
+/// CI can tell "the code is wrong" from "the linter is wrong".
 fn run_lint(args: &[String]) -> ExitCode {
     let mut root: Option<std::path::PathBuf> = None;
     let mut json: Option<std::path::PathBuf> = None;
+    let mut opts = ftpm_analyzer::AnalyzeOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -139,19 +146,20 @@ fn run_lint(args: &[String]) -> ExitCode {
                 Some(v) => root = Some(v.into()),
                 None => {
                     eprintln!("--root needs a directory");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(1);
                 }
             },
             "--json" => match it.next() {
                 Some(v) => json = Some(v.into()),
                 None => {
                     eprintln!("--json needs a file path");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(1);
                 }
             },
+            "--strict-allows" => opts.strict_allows = true,
             other => {
                 eprintln!("unknown flag {other:?}; try `ftpm --help`");
-                return ExitCode::FAILURE;
+                return ExitCode::from(1);
             }
         }
     }
@@ -163,19 +171,28 @@ fn run_lint(args: &[String]) -> ExitCode {
                 Some(r) => r,
                 None => {
                     eprintln!("no workspace root found above {}; pass --root", cwd.display());
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(1);
                 }
             }
         }
     };
-    let report = ftpm_analyzer::analyze_workspace(&root);
+    let report = ftpm_analyzer::analyze_workspace_with(&root, &opts);
     for v in &report.violations {
         eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
     }
+    for w in &report.warnings {
+        eprintln!("{}:{}: warning [{}] {}", w.file, w.line, w.rule, w.message);
+    }
+    for e in &report.internal_errors {
+        eprintln!("internal error: {e}");
+    }
     eprintln!(
-        "ftpm-analyzer: {} files scanned, {} violations, {} allow markers",
+        "ftpm-analyzer: {} files scanned, {} violations, {} warnings, \
+         {} internal errors, {} allow markers",
         report.files_scanned,
         report.violations.len(),
+        report.warnings.len(),
+        report.internal_errors.len(),
         report.allows.len()
     );
     if let Some(path) = json {
@@ -183,19 +200,21 @@ fn run_lint(args: &[String]) -> ExitCode {
             if !parent.as_os_str().is_empty() {
                 if let Err(e) = std::fs::create_dir_all(parent) {
                     eprintln!("cannot create {}: {e}", parent.display());
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(1);
                 }
             }
         }
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(1);
         }
     }
-    if report.violations.is_empty() {
-        ExitCode::SUCCESS
+    if !report.internal_errors.is_empty() {
+        ExitCode::from(1)
+    } else if !report.violations.is_empty() {
+        ExitCode::from(2)
     } else {
-        ExitCode::FAILURE
+        ExitCode::SUCCESS
     }
 }
 

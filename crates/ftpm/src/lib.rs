@@ -54,10 +54,10 @@ pub use ftpm_core::{
     mine_approximate_with_density, mine_approximate_with_sink, mine_exact, mine_exact_parallel,
     mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference,
     mine_reference_filtered, mine_sharded, mine_sharded_exchange, ApproxOutcome, CollectSink,
-    CorrelationFilter, CountingSink, CsvSink, DatabaseIndex, FrequentPattern,
-    HierarchicalPatternGraph, JsonlSink, MergeSink, MinerConfig, MiningResult, MiningStats,
-    Pattern, PatternSink, PatternSort, PruningConfig, Shard, ShardMerge, ShardPlan,
-    ShardPlanner, ShardReport, ShardedMining,
+    CorrelationFilter, CountingSink, CsvSink, DatabaseIndex, ExploreStats, Explorer,
+    FrequentPattern, HierarchicalPatternGraph, JsonlSink, Level, MergeSink, MinerConfig,
+    MiningResult, MiningStats, Node, Pattern, PatternSink, PatternSort, PruningConfig,
+    Schedule, Shard, ShardMerge, ShardPlan, ShardPlanner, ShardReport, ShardedMining,
 };
 pub use ftpm_datagen::{
     dataport_like, generate_city, generate_energy, nist_like, random_sequence_database,
