@@ -14,8 +14,10 @@
 //! * **R7 `hot_path`** — no transient-allocation, I/O or panic-family
 //!   calls transitively reachable (depth ≤ [`R7_DEPTH`]) from the
 //!   declared hot set: the bitmap kernel module, `verify_pair`,
-//!   `grow_candidates`, every `BoundaryKernel` impl, and
-//!   `OccArena::push_extend`. Structural allocations (arena growth,
+//!   `grow_candidates`, every `BoundaryKernel` impl,
+//!   `OccArena::push_extend`, and the `PatternPool` interning family
+//!   (`intern*` — the merge/exchange hot path hits the pool once per
+//!   emission). Structural allocations (arena growth,
 //!   bitmap construction) are the hot path's job; `format!`-family
 //!   strings, `Box::new` and stray `unwrap`s are not. Panic sites that
 //!   already carry a `lint: allow(panic, …)` contract are treated as
@@ -349,8 +351,9 @@ impl<'a> ItemGraph<'a> {
     }
 
     /// The R7 hot set: bitmap kernel fns, the L2 verifier, the growth
-    /// loop, the monomorphized boundary kernels, and the arena's extend
-    /// path.
+    /// loop, the monomorphized boundary kernels, the arena's extend
+    /// path, and the pattern pool's interning family (once per emitted
+    /// pattern on the merge/exchange path).
     fn hot_roots(&self) -> Vec<usize> {
         (0..self.fns.len())
             .filter(|&id| {
@@ -364,6 +367,8 @@ impl<'a> ItemGraph<'a> {
                     || f.name == "grow_candidates"
                     || f.impl_trait.as_deref() == Some("BoundaryKernel")
                     || (f.impl_type.as_deref() == Some("OccArena") && f.name == "push_extend")
+                    || (f.impl_type.as_deref() == Some("PatternPool")
+                        && f.name.starts_with("intern"))
             })
             .collect()
     }

@@ -1277,6 +1277,174 @@ pub fn kernel_speedup(opts: &Opts) -> bool {
     and_count_ok
 }
 
+/// Hash-consed pattern-pool speedup gate (beyond the paper; ROADMAP
+/// "hash-consed pattern pool"): A/B of the merge accumulation hot path —
+/// the retired pattern-keyed design (clone every emitted [`Pattern`]
+/// into a `HashMap<Pattern, stats>`, re-hashing the full event/relation
+/// vectors per emission) against the pooled design that interns each
+/// pattern once and accumulates in flat columns indexed by `PatternId`.
+///
+/// The A side survives only inside this benchmark — the miner cannot be
+/// toggled back — so the microbench carries the before/after story; the
+/// end-to-end rows pin the absolute exchange/merge wall clock CI tracks
+/// across runs. Timings are best-of-N minima (single shared CI core);
+/// allocation counts come from the tracking allocator and are exact.
+/// Writes `results/intern_speedup.{csv,json}` and returns whether the
+/// pooled path beat the pattern-keyed path ≥ 1.3× on accumulation wall
+/// time, or cut its allocation count ≥ 5× (the CI gate — the allocation
+/// arm keeps the gate meaningful on a noisy one-core container).
+pub fn intern_speedup(opts: &Opts) -> bool {
+    use std::collections::HashMap;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    use ftpm_core::{Pattern, PatternPool, ShardPlanner};
+
+    use crate::alloc_track::measure_allocs;
+
+    const SAMPLES: usize = 9;
+    /// Simulated shard count: each distinct pattern is emitted once per
+    /// "shard", as the merge seam sees it in a sharded run.
+    const SHARDS: usize = 4;
+
+    println!(
+        "Pattern-pool intern speedup: pattern-keyed vs id-keyed merge \
+         accumulation (scale {})\n",
+        opts.scale
+    );
+
+    // The workload: the real pattern set of the nist demo, emitted
+    // SHARDS times into the accumulator (what ShardMerge sees).
+    let data = nist_like(opts.scale);
+    let cfg = config(0.4, 0.4, opts);
+    let result = mine_exact(&data.seq, &cfg);
+    let patterns: Vec<Pattern> = result.patterns.iter().map(|p| p.pattern.clone()).collect();
+    let n_roots = data.seq.registry().len();
+
+    // A: the retired design — owned-Pattern keys, one clone + one
+    // whole-vector hash per emission.
+    let keyed = || {
+        let mut map: HashMap<Pattern, (usize, usize)> = HashMap::new();
+        for _ in 0..SHARDS {
+            for p in &patterns {
+                let entry = map.entry(p.clone()).or_insert((0, 0));
+                entry.0 += 1;
+            }
+        }
+        map.len()
+    };
+    // B: the pooled design — intern once, accumulate by u32 id.
+    let pooled = || {
+        let mut pool = PatternPool::with_roots(n_roots);
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..SHARDS {
+            for p in &patterns {
+                let id = pool.intern(p);
+                if entries.len() <= id.0 as usize {
+                    entries.resize(pool.len(), (0, 0));
+                }
+                entries[id.0 as usize].0 += 1;
+            }
+        }
+        entries.iter().filter(|e| e.0 > 0).count()
+    };
+
+    let best_s = |f: &mut dyn FnMut() -> usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let started = Instant::now();
+            let out = black_box(f());
+            let elapsed = started.elapsed().as_secs_f64();
+            black_box(out);
+            best = best.min(elapsed);
+        }
+        best
+    };
+
+    let emissions = SHARDS * patterns.len();
+    let mut keyed_run = keyed;
+    let mut pooled_run = pooled;
+    let keyed_s = best_s(&mut keyed_run);
+    let pooled_s = best_s(&mut pooled_run);
+    let speedup = keyed_s / pooled_s;
+    let (_, keyed_allocs) = measure_allocs(keyed);
+    let (_, pooled_allocs) = measure_allocs(pooled);
+    let alloc_ratio = keyed_allocs as f64 / pooled_allocs.max(1) as f64;
+
+    let mut report = Report::new(
+        "intern_speedup",
+        &["benchmark", "size", "pattern-keyed", "pooled", "improvement"],
+    );
+    report.row(vec![
+        "accumulate".into(),
+        format!("{emissions} emissions"),
+        format!("{:.0} ns/em", keyed_s / emissions.max(1) as f64 * 1e9),
+        format!("{:.0} ns/em", pooled_s / emissions.max(1) as f64 * 1e9),
+        format!("{speedup:.2}x"),
+    ]);
+    report.row(vec![
+        "allocations".into(),
+        format!("{emissions} emissions"),
+        format!("{keyed_allocs}"),
+        format!("{pooled_allocs}"),
+        format!("{alloc_ratio:.1}x fewer"),
+    ]);
+
+    // End to end: the exchange and support-complete sharded runs of the
+    // same demo — the two paths whose inner loops the pool rewired —
+    // plus the unsharded baseline for context. Absolute wall clock only;
+    // CI archives these run over run.
+    let plan = ShardPlanner::new(4)
+        .plan(&data.syb, data.split, cfg.relation.t_max)
+        .expect("demo geometry shards cleanly");
+    let (exchange_out, exchange_wall) = time(|| plan.mine_exchange(&cfg, 1));
+    let (merged_out, merge_wall) = time(|| plan.mine(&cfg, 1));
+    report.row(vec![
+        "mine_exchange".into(),
+        format!("{} windows, 4 shards", plan.n_windows()),
+        "-".into(),
+        format!("{} s", secs(exchange_wall)),
+        "-".into(),
+    ]);
+    report.row(vec![
+        "mine_sharded".into(),
+        format!("{} windows, 4 shards", plan.n_windows()),
+        "-".into(),
+        format!("{} s", secs(merge_wall)),
+        "-".into(),
+    ]);
+    report.finish();
+    assert_eq!(
+        exchange_out.0.len(),
+        merged_out.len(),
+        "exchange and support-complete merges must agree on the demo"
+    );
+
+    let ok = speedup >= 1.3 || alloc_ratio >= 5.0;
+    let json = format!(
+        "{{\n  \"experiment\": \"intern_speedup\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"samples\": {SAMPLES},\n  \"shards\": {SHARDS},\n  \
+         \"patterns\": {},\n  \"emissions\": {emissions},\n  \
+         \"keyed_s\": {keyed_s:.6},\n  \"pooled_s\": {pooled_s:.6},\n  \
+         \"accumulate_speedup\": {speedup:.3},\n  \
+         \"keyed_allocs\": {keyed_allocs},\n  \"pooled_allocs\": {pooled_allocs},\n  \
+         \"alloc_ratio\": {alloc_ratio:.3},\n  \
+         \"exchange_wall_ms\": {:.3},\n  \"merge_wall_ms\": {:.3},\n  \
+         \"intern_speedup_ok\": {ok}\n}}\n",
+        data.name,
+        opts.scale,
+        patterns.len(),
+        exchange_wall.as_secs_f64() * 1e3,
+        merge_wall.as_secs_f64() * 1e3,
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/intern_speedup.json", json) {
+        Ok(()) => println!("wrote results/intern_speedup.json"),
+        Err(e) => eprintln!("could not write results/intern_speedup.json: {e}"),
+    }
+    ok
+}
+
 fn scalability(name: &str, data: &Dataset, opts: &Opts, by_sequences: bool) {
     let methods = [
         Method::AHtpgm(0.6),

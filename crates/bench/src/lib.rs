@@ -15,5 +15,8 @@ mod alloc_track;
 pub mod experiments;
 mod util;
 
-pub use alloc_track::{current_bytes, measure_peak, peak_bytes, reset_peak, TrackingAllocator};
+pub use alloc_track::{
+    alloc_count, current_bytes, measure_allocs, measure_peak, peak_bytes, reset_peak,
+    TrackingAllocator,
+};
 pub use util::{secs, time, Method, Opts, Report};

@@ -17,6 +17,7 @@ use crate::config::MinerConfig;
 use crate::index::DatabaseIndex;
 use crate::occ::{OccArena, OccRange};
 use crate::pattern::Pattern;
+use crate::pool::{pack_relation, PatternId};
 use crate::result::MiningStats;
 
 /// Tolerance for `conf >= delta` comparisons, so that thresholds like 0.7
@@ -128,6 +129,18 @@ pub(crate) struct WorkPattern {
     /// The pattern's occurrence bindings: a range of rows in the owning
     /// node's [`WorkNode::occs`] arena.
     pub(crate) occurrences: OccRange,
+    /// Pool identity, assigned by the exchange coordinator when this
+    /// pattern survives the global gate; [`PatternId::NONE`] in the
+    /// non-exchange miners and before gating.
+    pub(crate) id: PatternId,
+    /// Pool identity of the (k−1)-prefix this pattern was grown from —
+    /// with [`WorkPattern::code`], the pattern's [`crate::pool::DeltaKey`]
+    /// the exchange executor keys proposals on instead of cloning the
+    /// pattern. Level-2 patterns use the first event's root id.
+    pub(crate) parent_id: PatternId,
+    /// The delta relation column, packed 2 bits per relation (already
+    /// computed as the extension grouping key in `extend_node`).
+    pub(crate) code: u64,
 }
 
 /// Working node: event combination + joint bitmap + patterns, plus the
@@ -300,6 +313,9 @@ impl<K: BoundaryKernel> L2Engine<'_, K> {
                 support,
                 confidence,
                 occurrences: node_occs.append_from(scratch, all),
+                id: PatternId::NONE,
+                parent_id: PatternId(ei.0),
+                code: pack_relation(0, r),
             });
         }
         if node_patterns.is_empty() {

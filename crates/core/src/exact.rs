@@ -30,9 +30,7 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 
 use ftpm_bitmap::Bitmap;
-use ftpm_events::{
-    BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase, TemporalRelation,
-};
+use ftpm_events::{BoundaryKernel, BoundaryVisit, EventId, SequenceDatabase};
 
 use crate::candidates::{
     apriori_gate, passes_thresholds, CorrelationFilter, L2Engine, PairRelations, WorkNode,
@@ -109,22 +107,7 @@ pub(crate) fn record_boundary_stats(
     };
 }
 
-/// Packs a relation column into 2 bits per entry (values 1..=3 so the
-/// packing is injective for a fixed length).
-#[inline]
-fn push_relation(code: u64, r: TemporalRelation) -> u64 {
-    (code << 2) | (r.index() as u64 + 1)
-}
-
-/// Reverses [`push_relation`] for a column of `len` relations.
-fn decode_column(mut code: u64, len: usize) -> Vec<TemporalRelation> {
-    let mut rels = vec![TemporalRelation::Follow; len];
-    for slot in rels.iter_mut().rev() {
-        *slot = TemporalRelation::ALL[(code & 3) as usize - 1];
-        code >>= 2;
-    }
-    rels
-}
+use crate::pool::{decode_column, pack_relation, PatternId};
 
 /// `owned` is the shard-mining seam: when present, the index (and hence
 /// every bitmap, occurrence binding and support the miner derives from
@@ -337,7 +320,7 @@ pub(crate) fn extend_node<K: BoundaryKernel>(
                                 ok = false;
                                 break;
                             }
-                            code = push_relation(code, r);
+                            code = pack_relation(code, r);
                         }
                         None => {
                             ok = false;
@@ -369,6 +352,9 @@ pub(crate) fn extend_node<K: BoundaryKernel>(
                 support,
                 confidence,
                 occurrences: child_occs.append_from(&occurrences, all),
+                id: PatternId::NONE,
+                parent_id: parent.id,
+                code,
             });
         }
     }
@@ -624,7 +610,7 @@ mod tests {
 
     #[test]
     fn relation_column_roundtrip() {
-        use TemporalRelation::*;
+        use ftpm_events::TemporalRelation::*;
         for column in [
             vec![Follow],
             vec![Contain, Overlap],
@@ -633,7 +619,7 @@ mod tests {
         ] {
             let mut code = 0u64;
             for &r in &column {
-                code = push_relation(code, r);
+                code = pack_relation(code, r);
             }
             assert_eq!(decode_column(code, column.len()), column);
         }

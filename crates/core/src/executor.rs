@@ -36,23 +36,32 @@
 //! chunks, level-`k` node growth), so `--threads` composes with
 //! `--shards`. The propose/recount calls on `ShardWorker` are the seam
 //! a cross-machine deployment would turn into RPC messages: the
-//! coordinator only ever sees `(pattern, owned support, owned clipped)`
-//! triples and broadcasts survivor sets.
+//! coordinator only ever sees `(candidate key, owned support, owned
+//! clipped)` triples and broadcasts survivor sets.
+//!
+//! The exchange wire is *id-keyed*: a candidate is identified by its
+//! [`DeltaKey`] — `(parent pattern id, appended event, packed delta
+//! relation column)` — never by a cloned [`crate::Pattern`]. The
+//! coordinator's [`crate::ShardMerge`] owns the hash-consed
+//! [`crate::PatternPool`]; parents are prior-round survivors whose pool
+//! ids the coordinator broadcast back in its verdict, so proposing,
+//! summing, gating and retaining are all 16-byte-key map operations with
+//! zero pattern allocation. Patterns materialize exactly once: in the
+//! merge's final sorted emission.
 
-use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
 use ftpm_events::{BoundaryKernel, BoundaryPolicy, BoundaryVisit, EventId};
 
-use crate::candidates::{CorrelationFilter, L2Engine, PairRelations, WorkNode, CONF_EPS};
+use crate::candidates::{CorrelationFilter, L2Engine, PairRelations, WorkNode, WorkPattern, CONF_EPS};
 use crate::config::MinerConfig;
 use crate::exact::{grow_candidates, MAX_EVENTS_HARD_CAP};
 use crate::index::DatabaseIndex;
 use crate::merge::{merge_stats, ShardMerge};
 use crate::occ::OccRange;
 use crate::parallel::{par_for_each, par_map};
-use crate::pattern::Pattern;
+use crate::pool::{decode_column, DeltaKey, FnvHashMap, PatternId};
 use crate::result::MiningStats;
 use crate::shard::{Shard, ShardPlan};
 use crate::sink::PatternSink;
@@ -79,6 +88,22 @@ pub struct ShardReport {
 
 /// Owned statistics of one proposed candidate: `(support, clipped)`.
 type OwnedStats = (usize, usize);
+
+/// The survivor verdict the coordinator broadcasts after each gate:
+/// every surviving candidate key mapped to its master pool id (the
+/// parent id of next round's extensions).
+type Verdict = FnvHashMap<DeltaKey, PatternId>;
+
+/// A work pattern's canonical exchange identity, read off the fields the
+/// miner already tracks (prefix id, appended event, packed delta column).
+fn delta_key(wp: &WorkPattern) -> DeltaKey {
+    let events = wp.pattern.events();
+    DeltaKey {
+        parent: wp.parent_id,
+        last: events[events.len() - 1],
+        code: wp.code,
+    }
+}
 
 /// Per-shard worker of the exchange executor: holds the shard's masked
 /// index and the current level's occurrence bindings, and answers the
@@ -114,8 +139,12 @@ pub(crate) struct ShardWorker<'a, K: BoundaryKernel> {
     /// per shard): L2 proposals skip MI-pruned pairs outright, so a
     /// pruned pair costs no verification in any shard.
     corr: Option<&'a CorrelationFilter<'a>>,
-    /// The last propose round's candidates with owned statistics.
-    proposals: HashMap<Pattern, OwnedStats>,
+    /// The last propose round's candidates with owned statistics, keyed
+    /// by [`DeltaKey`] — parents carry the master pool ids the
+    /// coordinator assigned last round (shard databases speak the master
+    /// registry, so level-2 parents are master root ids), which makes the
+    /// key canonical across shards without any pattern cloning.
+    proposals: FnvHashMap<DeltaKey, OwnedStats>,
     stats: MiningStats,
     proposed_total: usize,
     pruned_total: usize,
@@ -146,7 +175,7 @@ impl<'a, K: BoundaryKernel> ShardWorker<'a, K> {
             l1_supports: Vec::new(),
             l1_boundary: (0, 0),
             level: Vec::new(),
-            proposals: HashMap::new(),
+            proposals: FnvHashMap::default(),
             stats: MiningStats::default(),
             proposed_total: 0,
             pruned_total: 0,
@@ -301,8 +330,7 @@ impl<'a, K: BoundaryKernel> ShardWorker<'a, K> {
                 } else {
                     0
                 };
-                self.proposals
-                    .insert(wp.pattern.clone(), (wp.support, clipped));
+                self.proposals.insert(delta_key(wp), (wp.support, clipped));
             }
         }
         self.proposed_total += self.proposals.len();
@@ -314,20 +342,28 @@ impl<'a, K: BoundaryKernel> ShardWorker<'a, K> {
     /// occurrence of. Local propose rounds are support-complete, so a
     /// candidate absent from the proposals genuinely has owned support 0
     /// — this is the recount half of the exchange wire protocol.
-    pub(crate) fn recount(&self, candidates: &[Pattern]) -> Vec<OwnedStats> {
+    pub(crate) fn recount(&self, candidates: &[DeltaKey]) -> Vec<OwnedStats> {
         candidates
             .iter()
-            .map(|p| self.proposals.get(p).copied().unwrap_or((0, 0)))
+            .map(|key| self.proposals.get(key).copied().unwrap_or((0, 0)))
             .collect()
     }
 
     /// Applies the coordinator's verdict: drops every pattern (and every
     /// emptied node) the global gate killed, releasing their occurrence
-    /// bindings before the next round.
-    fn retain(&mut self, survivors: &HashSet<Pattern>) {
+    /// bindings before the next round, and stamps each survivor with the
+    /// master pool id the coordinator assigned it — next round's
+    /// extensions inherit it as their [`DeltaKey`] parent.
+    fn retain(&mut self, verdict: &Verdict) {
         let before: usize = self.level.iter().map(|n| n.patterns.len()).sum();
         for node in &mut self.level {
-            node.patterns.retain(|wp| survivors.contains(&wp.pattern));
+            node.patterns.retain_mut(|wp| match verdict.get(&delta_key(wp)) {
+                Some(&id) => {
+                    wp.id = id;
+                    true
+                }
+                None => false,
+            });
             // Drop the losers' occurrence bindings: patterns hold
             // ascending disjoint arena ranges, so releasing them is one
             // compaction sweep over the node's flat columns.
@@ -362,42 +398,50 @@ fn run_round<'a, K: BoundaryKernel, F>(
     });
 }
 
-/// Sums the workers' proposals, applies the global σ/δ gate, folds the
-/// survivors into the merge accumulator, and returns the survivor set.
+/// Sums the workers' proposals, applies the global σ/δ gate, interns the
+/// survivors into the merge's pattern pool and folds their statistics
+/// into the id-indexed accumulator, then returns the verdict to
+/// broadcast. Every map in the round is keyed by the 16-byte
+/// [`DeltaKey`]; the only per-survivor pool work is one delta
+/// interning (parents are already pooled prior-round survivors), and the
+/// confidence numerator walks the pooled parent chain instead of an
+/// events slice — no pattern is cloned or hashed vector-wide anywhere.
 fn gate_round<K: BoundaryKernel>(
     workers: &[ShardWorker<'_, K>],
     event_supports: &[usize],
     sigma_abs: usize,
     delta: f64,
     merge: &mut ShardMerge,
-) -> HashSet<Pattern> {
-    let mut sums: HashMap<&Pattern, OwnedStats> = HashMap::new();
+) -> Verdict {
+    let mut sums: FnvHashMap<DeltaKey, OwnedStats> = FnvHashMap::default();
     for worker in workers {
-        for (pattern, (support, clipped)) in &worker.proposals {
-            let entry = sums.entry(pattern).or_insert((0, 0));
+        for (key, (support, clipped)) in &worker.proposals {
+            let entry = sums.entry(*key).or_insert((0, 0));
             entry.0 += support;
             entry.1 += clipped;
         }
     }
-    let mut survivors = HashSet::new();
-    for (pattern, (support, clipped)) in sums {
+    let mut verdict = Verdict::default();
+    for (key, (support, clipped)) in sums {
         if support < sigma_abs {
             continue;
         }
-        let max_supp = pattern
-            .events()
-            .iter()
+        let max_supp = merge
+            .pool()
+            .events_rev(key.parent)
             .map(|e| event_supports[e.0 as usize])
             .max()
             // lint: allow(panic, structural invariant: patterns always hold at least one event)
-            .expect("patterns have events");
+            .expect("patterns have events")
+            .max(event_supports[key.last.0 as usize]);
         if (support as f64 / max_supp as f64) + CONF_EPS < delta {
             continue;
         }
-        merge.add_pattern(pattern.clone(), support, clipped);
-        survivors.insert(pattern.clone());
+        let id = merge.pool_mut().intern_packed(key);
+        merge.add_by_id(id, support, clipped);
+        verdict.insert(key, id);
     }
-    survivors
+    verdict
 }
 
 /// Debug cross-check of the exchange protocol: recounting each survivor
@@ -405,10 +449,10 @@ fn gate_round<K: BoundaryKernel>(
 /// propose and recount answers agree as independent calls.
 fn debug_assert_recount<K: BoundaryKernel>(
     workers: &[ShardWorker<'_, K>],
-    survivors: &HashSet<Pattern>,
+    verdict: &Verdict,
 ) {
     if cfg!(debug_assertions) {
-        for candidate in survivors {
+        for candidate in verdict.keys() {
             let total: usize = workers
                 .iter()
                 .map(|w| w.recount(std::slice::from_ref(candidate))[0].0)
@@ -504,7 +548,7 @@ fn mine_exchange_internal_k<K: BoundaryKernel>(
         .iter()
         .map(|shard| ShardWorker::new(shard, cfg, inner, corr))
         .collect();
-    let mut merge = ShardMerge::new(plan.registry().clone(), plan.n_windows());
+    let mut merge = ShardMerge::new(plan.shared_registry(), plan.n_windows());
     let sigma_abs = cfg.absolute_support(plan.n_windows());
     let max_events = cfg.max_events.min(MAX_EVENTS_HARD_CAP);
 
@@ -537,33 +581,35 @@ fn mine_exchange_internal_k<K: BoundaryKernel>(
 
     // ---- Round 2: L2 propose → global gate → retain ----
     run_round(&mut workers, outer, sched, |w| w.propose_l2(&freq));
-    let mut survivors = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
-    debug_assert_recount(&workers, &survivors);
-    run_round(&mut workers, outer, sched, |w| w.retain(&survivors));
+    let mut verdict = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
+    debug_assert_recount(&workers, &verdict);
+    run_round(&mut workers, outer, sched, |w| w.retain(&verdict));
 
     // The survivors are by construction the globally frequent 2-event
     // patterns — the transitivity table of Lemmas 4–7, identical to the
     // one the unsharded miner builds, shared read-only by every shard.
+    // A level-2 key decodes in place: the parent is a root (so its id is
+    // the first event's id) and the packed column holds one relation.
     let mut pair_relations = PairRelations::new(plan.registry().len());
-    for pattern in &survivors {
+    for key in verdict.keys() {
         pair_relations.insert(
-            pattern.events()[0],
-            pattern.relations()[0],
-            pattern.events()[1],
+            EventId(key.parent.0),
+            decode_column(key.code, 1)[0],
+            key.last,
         );
     }
 
     // ---- Rounds 3+: lockstep growth of the surviving candidates ----
     for k in 3..=max_events {
-        if survivors.is_empty() {
+        if verdict.is_empty() {
             break;
         }
         run_round(&mut workers, outer, sched, |w| {
             w.propose_next(&freq, &pair_relations, k);
         });
-        survivors = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
-        debug_assert_recount(&workers, &survivors);
-        run_round(&mut workers, outer, sched, |w| w.retain(&survivors));
+        verdict = gate_round(&workers, &event_supports, sigma_abs, cfg.delta, &mut merge);
+        debug_assert_recount(&workers, &verdict);
+        run_round(&mut workers, outer, sched, |w| w.retain(&verdict));
     }
 
     // ---- Final pass: merged stats, thresholds (idempotent here — the

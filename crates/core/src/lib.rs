@@ -70,6 +70,7 @@ mod merge;
 mod occ;
 mod parallel;
 mod pattern;
+mod pool;
 mod postprocess;
 mod reference;
 mod result;
@@ -94,6 +95,7 @@ pub use hpg::{HierarchicalPatternGraph, Level, Node};
 pub use index::DatabaseIndex;
 pub use merge::{MergeSink, ShardMerge};
 pub use pattern::Pattern;
+pub use pool::{DeltaKey, EventsRev, PatternId, PatternPool, PoolView};
 pub use reference::{mine_reference, mine_reference_filtered};
 pub use result::{FrequentPattern, MiningResult, MiningStats};
 pub use schedule::{ExploreStats, Explorer, Schedule};

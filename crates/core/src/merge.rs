@@ -23,21 +23,29 @@
 //!    remote shard with a foreign registry would use.)
 //!
 //! The merge is *streaming* in the sink sense: per-shard miners emit
-//! straight into a [`MergeSink`] (no per-shard result `Vec` ever exists),
-//! the accumulator keeps one compact counter pair per distinct pattern,
-//! and [`ShardMerge::finish_into`] applies the global σ/δ thresholds and
-//! forwards the survivors into the downstream sink in one deterministic
-//! (pattern-sorted) pass. This is the seam a future network sink plugs
-//! into: remote shards would stream the same `(pattern, owned support,
-//! owned clipped count)` triples.
+//! straight into a [`MergeSink`] (no per-shard result `Vec` ever exists)
+//! and the accumulator keeps one compact counter pair per distinct
+//! pattern. Patterns are *hash-consed*: every emission is interned into a
+//! [`PatternPool`] at the translation seam — `MergeSink::node` maps event
+//! ids and walks the pool's probe table without materializing a
+//! translated `Pattern` — and statistics accumulate in flat columns
+//! indexed by [`PatternId`], so a pattern emitted by all K shards is
+//! allocated once, not K times, and never re-hashed vector-wide.
+//! [`ShardMerge::finish_into`] applies the global σ/δ thresholds over the
+//! id-indexed columns and resolves only the survivors back to full
+//! patterns, in one deterministic (pattern-sorted) pass. This is the seam
+//! a future network sink plugs into: remote shards would stream
+//! `(pattern id delta, owned support, owned clipped count)` frames
+//! against a shared base pool (see [`crate::pool::PoolView`]).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use ftpm_events::{EventId, EventRegistry};
 
 use crate::candidates::CONF_EPS;
 use crate::config::MinerConfig;
 use crate::pattern::Pattern;
+use crate::pool::{PatternId, PatternPool};
 use crate::result::{FrequentPattern, MiningStats};
 use crate::sink::PatternSink;
 
@@ -83,7 +91,8 @@ struct MergeEntry {
     clipped_occurrences: usize,
 }
 
-/// Streaming union of per-shard pattern statistics.
+/// Streaming union of per-shard pattern statistics, accumulated by
+/// hash-consed [`PatternId`] instead of by owned [`Pattern`] key.
 ///
 /// Feed it one shard at a time through [`ShardMerge::sink`] (the
 /// per-shard miners write into that adapter), record each shard's owned
@@ -92,26 +101,40 @@ struct MergeEntry {
 /// the merged output into a downstream sink.
 #[derive(Debug)]
 pub struct ShardMerge {
-    registry: EventRegistry,
+    registry: Arc<EventRegistry>,
     /// Total owned windows across all shards — the global `|D_SEQ|`.
     n_sequences: usize,
     /// Owned single-event supports, indexed by master [`EventId`] — the
     /// confidence denominators of the merged output.
     event_supports: Vec<usize>,
-    patterns: HashMap<Pattern, MergeEntry>,
+    /// The master pattern pool: every distinct pattern any shard emitted,
+    /// interned once. Roots cover the master registry, so raw event ids
+    /// double as root pattern ids.
+    pool: PatternPool,
+    /// Per-pattern accumulators, aligned with `pool` ids (lazily grown —
+    /// prefix entries created only as chain links carry no counts).
+    entries: Vec<MergeEntry>,
+    /// Ids that have received at least one emission, in first-touch
+    /// order — the iteration set for [`ShardMerge::finish_into`].
+    touched: Vec<PatternId>,
     stats: MiningStats,
 }
 
 impl ShardMerge {
     /// An empty merge over a master registry covering `n_sequences` owned
-    /// windows in total.
-    pub fn new(registry: EventRegistry, n_sequences: usize) -> Self {
+    /// windows in total. Accepts the registry by value or as a shared
+    /// [`Arc`] (the shard planner hands every shard the same allocation).
+    pub fn new(registry: impl Into<Arc<EventRegistry>>, n_sequences: usize) -> Self {
+        let registry = registry.into();
         let event_supports = vec![0; registry.len()];
+        let pool = PatternPool::with_roots(registry.len());
         ShardMerge {
             registry,
             n_sequences,
             event_supports,
-            patterns: HashMap::new(),
+            pool,
+            entries: Vec::new(),
+            touched: Vec::new(),
             stats: MiningStats::default(),
         }
     }
@@ -124,7 +147,20 @@ impl ShardMerge {
     /// Number of distinct patterns accumulated so far (before the global
     /// σ/δ filter).
     pub fn distinct_patterns(&self) -> usize {
-        self.patterns.len()
+        self.touched.len()
+    }
+
+    /// The master pattern pool (exchange-coordinator seam: the gate
+    /// walks parent chains for confidence denominators and interns
+    /// survivors by [`crate::pool::DeltaKey`]).
+    pub(crate) fn pool(&self) -> &PatternPool {
+        &self.pool
+    }
+
+    /// Mutable pool access for the exchange coordinator's survivor
+    /// interning.
+    pub(crate) fn pool_mut(&mut self) -> &mut PatternPool {
+        &mut self.pool
     }
 
     /// A [`PatternSink`] adapter for one shard: translates incoming event
@@ -141,14 +177,18 @@ impl ShardMerge {
         self.event_supports[event.0 as usize] += support;
     }
 
-    /// Folds one pattern's owned statistics (already expressed in the
-    /// master registry) into the accumulator — the candidate-exchange
-    /// executor's entry point: its coordinator has already summed owned
-    /// supports across shards, so survivors arrive here with their global
-    /// counts and [`ShardMerge::finish_into`]'s threshold pass is a
-    /// no-op re-check.
-    pub(crate) fn add_pattern(&mut self, pattern: Pattern, support: usize, clipped: usize) {
-        let entry = self.patterns.entry(pattern).or_default();
+    /// Folds owned statistics into the accumulator column of an interned
+    /// pattern — every emission path (merge sink, exchange gate) lands
+    /// here with an id, never a cloned pattern.
+    pub(crate) fn add_by_id(&mut self, id: PatternId, support: usize, clipped: usize) {
+        let at = id.0 as usize;
+        if self.entries.len() <= at {
+            self.entries.resize(self.pool.len().max(at + 1), MergeEntry::default());
+        }
+        let entry = &mut self.entries[at];
+        if entry.support == 0 && entry.clipped_occurrences == 0 {
+            self.touched.push(id);
+        }
         entry.support += support;
         entry.clipped_occurrences += clipped;
     }
@@ -169,16 +209,19 @@ impl ShardMerge {
     /// Applies the *global* thresholds of `cfg` to the merged statistics
     /// and emits the surviving patterns into `sink`, sorted by pattern
     /// (events, then relations) so the merged output is deterministic
-    /// regardless of shard emission interleaving. Returns the merged run
-    /// statistics: work counters are summed across shards, while the
-    /// per-level `patterns_found`/`nodes_kept` describe the merged final
-    /// output.
+    /// regardless of shard emission interleaving. Only survivors are
+    /// resolved from the pool back to full patterns — allocation is
+    /// output-proportional. Returns the merged run statistics: work
+    /// counters are summed across shards, while the per-level
+    /// `patterns_found`/`nodes_kept` describe the merged final output.
     pub fn finish_into(self, cfg: &MinerConfig, sink: &mut dyn PatternSink) -> MiningStats {
         let ShardMerge {
             registry,
             n_sequences,
             event_supports,
-            patterns,
+            pool,
+            entries,
+            touched,
             mut stats,
         } = self;
         let sigma_abs = cfg.absolute_support(n_sequences);
@@ -190,15 +233,15 @@ impl ShardMerge {
             .collect();
         sink.begin(&l1);
 
-        let mut rows: Vec<(Pattern, MergeEntry, f64)> = patterns
+        let mut rows: Vec<(Pattern, MergeEntry, f64)> = touched
             .into_iter()
-            .filter_map(|(pattern, entry)| {
+            .filter_map(|id| {
+                let entry = entries[id.0 as usize];
                 if entry.support < sigma_abs {
                     return None;
                 }
-                let max_supp = pattern
-                    .events()
-                    .iter()
+                let max_supp = pool
+                    .events_rev(id)
                     .map(|e| event_supports[e.0 as usize])
                     .max()
                     // lint: allow(panic, structural invariant: patterns always hold at least one event)
@@ -210,7 +253,7 @@ impl ShardMerge {
                 if confidence + CONF_EPS < cfg.delta {
                     return None;
                 }
-                Some((pattern, entry, confidence))
+                Some((pool.resolve(id), entry, confidence))
             })
             .collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
@@ -240,9 +283,10 @@ impl ShardMerge {
 }
 
 /// The per-shard side of the merge boundary: a [`PatternSink`] handed to
-/// a shard's miner. Every emitted node is translated into the master
-/// registry and folded into the shared accumulator; nothing is buffered
-/// per shard.
+/// a shard's miner. Every emitted pattern is interned straight into the
+/// master pool — event ids translate through `map` during the chain walk,
+/// so no translated `Pattern` is ever allocated — and its owned counts
+/// fold into the id-indexed accumulator. Nothing is buffered per shard.
 #[derive(Debug)]
 pub struct MergeSink<'a> {
     merge: &'a mut ShardMerge,
@@ -265,17 +309,8 @@ impl PatternSink for MergeSink<'_> {
         patterns: Vec<FrequentPattern>,
     ) {
         for fp in patterns {
-            let translated = Pattern::new(
-                fp.pattern
-                    .events()
-                    .iter()
-                    .map(|e| self.map[e.0 as usize])
-                    .collect(),
-                fp.pattern.relations().to_vec(),
-            );
-            let entry = self.merge.patterns.entry(translated).or_default();
-            entry.support += fp.support;
-            entry.clipped_occurrences += fp.clipped_occurrences;
+            let id = self.merge.pool.intern_mapped(&fp.pattern, self.map);
+            self.merge.add_by_id(id, fp.support, fp.clipped_occurrences);
         }
     }
 }
@@ -361,5 +396,23 @@ mod tests {
         let mut out = CollectSink::new();
         let stats = merge.finish_into(&cfg, &mut out);
         assert_eq!(out.into_result(stats).len(), 1);
+    }
+
+    #[test]
+    fn same_pattern_from_two_shards_interns_once() {
+        let master = registry(&["A", "B"]);
+        let mut merge = ShardMerge::new(master, 4);
+        let map = [EventId(0), EventId(1)];
+        {
+            let mut sink = merge.sink(&map);
+            sink.node(vec![], 0, 2, vec![fp(0, 1, 1, 0)]);
+        }
+        let pooled = merge.pool().len();
+        {
+            let mut sink = merge.sink(&map);
+            sink.node(vec![], 0, 2, vec![fp(0, 1, 2, 0)]);
+        }
+        assert_eq!(merge.pool().len(), pooled, "second emission is a pool hit");
+        assert_eq!(merge.distinct_patterns(), 1);
     }
 }

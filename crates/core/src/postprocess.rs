@@ -16,31 +16,41 @@
 
 use std::collections::HashMap;
 
-use crate::pattern::Pattern;
+use crate::pool::{FnvHashMap, PatternId, PatternPool};
 use crate::result::{FrequentPattern, MiningResult};
 
-/// Computes, for every pattern, the best (maximum) support among its
-/// direct frequent extensions, if any.
-fn extension_support(result: &MiningResult) -> HashMap<&Pattern, usize> {
-    let mut best: HashMap<&Pattern, usize> = HashMap::new();
-    let by_key: HashMap<&Pattern, usize> = result
+/// Computes, for every pattern (by its index in `result.patterns`), the
+/// best (maximum) support among its direct frequent extensions, if any.
+///
+/// Runs over a hash-consed [`PatternPool`]: every pattern interns once,
+/// and a pattern's immediate prefix is then just its pooled parent id —
+/// no prefix `Pattern` is materialized and no whole-pattern key is
+/// hashed per lookup.
+fn extension_support(result: &MiningResult) -> Vec<Option<usize>> {
+    let n_roots = result
         .patterns
         .iter()
-        .map(|p| (&p.pattern, p.support))
+        .flat_map(|p| p.pattern.events())
+        .map(|e| e.0 + 1)
+        .max()
+        .unwrap_or(0);
+    let mut pool = PatternPool::with_roots(n_roots as usize);
+    let ids: Vec<PatternId> = result
+        .patterns
+        .iter()
+        .map(|p| pool.intern(&p.pattern))
         .collect();
+    let index_of: FnvHashMap<PatternId, usize> =
+        ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut best: Vec<Option<usize>> = vec![None; result.patterns.len()];
     // Every pattern of length >= 3 contributes to its immediate prefix's
-    // best extension support — one O(n) pass.
-    for fp in &result.patterns {
+    // best extension support — one O(n) pass over parent ids.
+    for (fp, &id) in result.patterns.iter().zip(&ids) {
         if fp.pattern.len() < 3 {
             continue;
         }
-        let k = fp.pattern.len();
-        let prefix = Pattern::new(
-            fp.pattern.events()[..k - 1].to_vec(),
-            fp.pattern.relations()[..(k - 1) * (k - 2) / 2].to_vec(),
-        );
-        if let Some((key, _)) = by_key.get_key_value(&prefix) {
-            let entry = best.entry(key).or_insert(0);
+        if let Some(&at) = index_of.get(&pool.parent(id)) {
+            let entry = best[at].get_or_insert(0);
             *entry = (*entry).max(fp.support);
         }
     }
@@ -66,10 +76,12 @@ pub fn closed_patterns(result: &MiningResult) -> Vec<&FrequentPattern> {
     result
         .patterns
         .iter()
-        .filter(|fp| match best.get(&fp.pattern) {
-            Some(&ext) => ext < fp.support,
+        .zip(&best)
+        .filter(|(fp, ext)| match ext {
+            Some(ext) => *ext < fp.support,
             None => true,
         })
+        .map(|(fp, _)| fp)
         .collect()
 }
 
@@ -80,7 +92,9 @@ pub fn maximal_patterns(result: &MiningResult) -> Vec<&FrequentPattern> {
     result
         .patterns
         .iter()
-        .filter(|fp| !best.contains_key(&fp.pattern))
+        .zip(&best)
+        .filter(|(_, ext)| ext.is_none())
+        .map(|(fp, _)| fp)
         .collect()
 }
 

@@ -73,9 +73,10 @@ pub struct MiningResult {
 impl MiningResult {
     /// The set of pattern identities, for accuracy comparisons between
     /// miners (Table IX: accuracy of A-HTPGM = fraction of E-HTPGM's
-    /// patterns that A-HTPGM also finds).
-    pub fn pattern_keys(&self) -> HashSet<Pattern> {
-        self.patterns.iter().map(|p| p.pattern.clone()).collect()
+    /// patterns that A-HTPGM also finds). Borrows the patterns in place —
+    /// building the set clones nothing.
+    pub fn pattern_keys(&self) -> HashSet<&Pattern> {
+        self.patterns.iter().map(|p| &p.pattern).collect()
     }
 
     /// Number of frequent patterns.

@@ -39,6 +39,7 @@
 //! survivors are grown to level `k + 1` — same exact output, strictly
 //! fewer candidates, and the shards run concurrently.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ftpm_events::{
@@ -112,9 +113,11 @@ impl ShardPlanner {
         // mirrored pattern. (A distributed deployment would ship this
         // shared event dictionary to the shards the same way.)
         let mut registry = to_sequence_database(syb, split).registry().clone();
-        let mut shards = Vec::with_capacity(spans.len());
-        let mut maps = Vec::with_capacity(spans.len());
-        for (index, span) in spans.into_iter().enumerate() {
+        // Pass 1: convert every slice and build its remap onto the master
+        // registry — the only stage that may (on a geometry bug) still
+        // extend the registry, so it runs before the registry is frozen.
+        let mut converted = Vec::with_capacity(spans.len());
+        for span in spans {
             let slice = syb.slice_steps(span.slice_steps.0, span.slice_steps.1);
             let slice_db = to_sequence_database(&slice, split);
             // Shard windows are global windows, so every slice event
@@ -131,6 +134,16 @@ impl ShardPlanner {
                     )
                 })
                 .collect();
+            converted.push((span, slice_db, remap));
+        }
+        // Pass 2: the registry is final — freeze it into an `Arc` and
+        // hand every shard database the same allocation (K shards, one
+        // label table; the per-shard deep clone used to dominate plan
+        // memory).
+        let registry = Arc::new(registry);
+        let mut shards = Vec::with_capacity(converted.len());
+        let mut maps = Vec::with_capacity(converted.len());
+        for (index, (span, slice_db, remap)) in converted.into_iter().enumerate() {
             let sequences = slice_db
                 .sequences()
                 .iter()
@@ -148,7 +161,7 @@ impl ShardPlanner {
                     )
                 })
                 .collect();
-            let db = SequenceDatabase::new(registry.clone(), sequences);
+            let db = SequenceDatabase::new(Arc::clone(&registry), sequences);
             let owned: Vec<bool> = (0..db.len())
                 .map(|j| {
                     let g = span.first_window + j;
@@ -204,7 +217,8 @@ pub struct ShardPlan {
     shards: Vec<Shard>,
     /// Per shard: shard `EventId` → master `EventId`.
     maps: Vec<Vec<EventId>>,
-    registry: EventRegistry,
+    /// Shared with every shard database (see [`ShardPlanner::plan`]).
+    registry: Arc<EventRegistry>,
     /// Global window count — the merged `|D_SEQ|`.
     n_windows: usize,
     t_ov: i64,
@@ -215,6 +229,13 @@ impl ShardPlan {
     /// writer sinks against this registry, not the shards' own.
     pub fn registry(&self) -> &EventRegistry {
         &self.registry
+    }
+
+    /// The master registry as a shareable handle (no deep clone) — the
+    /// merge accumulator and the shard databases all hold this same
+    /// allocation.
+    pub fn shared_registry(&self) -> Arc<EventRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// The planned shards.
@@ -293,7 +314,7 @@ impl ShardPlan {
             delta: f64::MIN_POSITIVE,
             ..*cfg
         };
-        let mut merge = ShardMerge::new(self.registry.clone(), self.n_windows);
+        let mut merge = ShardMerge::new(Arc::clone(&self.registry), self.n_windows);
         let mut reports = Vec::with_capacity(self.shards.len());
         let mut clipped = 0u64;
         let mut discarded = 0u64;
@@ -447,8 +468,9 @@ impl ShardPlan {
 pub struct ShardedMining {
     /// The merged, globally-thresholded result.
     pub result: MiningResult,
-    /// The registry [`ShardedMining::result`] is expressed in.
-    pub registry: EventRegistry,
+    /// The registry [`ShardedMining::result`] is expressed in (shared
+    /// with the plan's shard databases, not a deep clone).
+    pub registry: Arc<EventRegistry>,
     /// Number of shards actually mined (≤ the requested count).
     pub shards: usize,
     /// Shard-slice overlap in ticks (`t_max` of the miner config).

@@ -397,6 +397,27 @@ impl MiningResult {
             }
         }
     }
+
+    /// Consuming counterpart of [`MiningResult::replay_into`]: moves each
+    /// pattern into the sink instead of cloning it. Prefer this when the
+    /// result is not needed afterwards (the export-only CLI path) —
+    /// replaying a large result then dropping it doubles every pattern
+    /// allocation for no reason.
+    pub fn drain_into(self, sink: &mut dyn PatternSink) {
+        sink.begin(&self.frequent_events);
+        let mut patterns: Vec<Option<FrequentPattern>> =
+            self.patterns.into_iter().map(Some).collect();
+        for (li, level) in self.graph.levels.iter().enumerate() {
+            for node in &level.nodes {
+                let moved = node
+                    .pattern_indices
+                    .iter()
+                    .filter_map(|&i| patterns[i].take())
+                    .collect();
+                sink.node(node.events.clone(), node.support, li + 2, moved);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

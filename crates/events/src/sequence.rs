@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::event::{EventId, EventRegistry};
@@ -59,17 +61,22 @@ impl TemporalSequence {
 /// The temporal sequence database `D_SEQ` (Def 3.10, Table III): a list of
 /// temporal sequences plus the registry naming the events that occur in
 /// them.
+///
+/// The registry is held behind an [`Arc`]: sharded mining hands every
+/// shard database the same master registry, so K shards share one
+/// allocation instead of K deep clones of the label table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SequenceDatabase {
-    registry: EventRegistry,
+    registry: Arc<EventRegistry>,
     sequences: Vec<TemporalSequence>,
 }
 
 impl SequenceDatabase {
-    /// Creates a database from parts.
-    pub fn new(registry: EventRegistry, sequences: Vec<TemporalSequence>) -> Self {
+    /// Creates a database from parts. Accepts the registry by value or as
+    /// an already-shared [`Arc`].
+    pub fn new(registry: impl Into<Arc<EventRegistry>>, sequences: Vec<TemporalSequence>) -> Self {
         SequenceDatabase {
-            registry,
+            registry: registry.into(),
             sequences,
         }
     }
@@ -77,6 +84,11 @@ impl SequenceDatabase {
     /// The event registry.
     pub fn registry(&self) -> &EventRegistry {
         &self.registry
+    }
+
+    /// The event registry as a shareable handle (no deep clone).
+    pub fn shared_registry(&self) -> Arc<EventRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// The sequences.
@@ -99,7 +111,7 @@ impl SequenceDatabase {
     /// Fig 10/11 %-of-data scalability experiments.
     pub fn take_sequences(&self, n: usize) -> SequenceDatabase {
         SequenceDatabase {
-            registry: self.registry.clone(),
+            registry: Arc::clone(&self.registry),
             sequences: self.sequences[..n.min(self.sequences.len())].to_vec(),
         }
     }

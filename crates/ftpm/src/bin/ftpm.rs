@@ -607,20 +607,32 @@ fn write_shard_reports(
     Ok(())
 }
 
-/// Writes an already-mined result through the same sink machinery as the
-/// streaming path: a straight replay when the whole result goes out in
-/// discovery order, or one synthetic node per pattern for a
-/// sorted/truncated selection.
-fn export_result(
-    result: &MiningResult,
+/// Writes a fully-mined result through the same sink machinery as the
+/// streaming path, *consuming* it: the result is replayed by moving each
+/// pattern into the sink ([`MiningResult::drain_into`]), so the export
+/// allocates nothing per pattern. Runs after the summary — the export is
+/// the result's last reader.
+fn export_whole_result(
+    result: MiningResult,
+    registry: &EventRegistry,
+    path: &str,
+) -> Result<u64, String> {
+    let mut moved = Some(result);
+    write_patterns(Some(path), registry, &mut |sink| {
+        if let Some(r) = moved.take() {
+            r.drain_into(sink);
+        }
+    })
+}
+
+/// Writes a sorted/truncated selection as one synthetic node per pattern
+/// (the reordering makes a graph replay impossible, so this path clones
+/// the selected patterns).
+fn export_selection(
     selection: &[&FrequentPattern],
     registry: &EventRegistry,
     path: &str,
-    reordered: bool,
 ) -> Result<u64, String> {
-    if !reordered && selection.len() == result.len() {
-        return write_patterns(Some(path), registry, &mut |sink| result.replay_into(sink));
-    }
     write_patterns(Some(path), registry, &mut |sink| {
         sink.begin(&[]);
         for fp in selection {
@@ -797,14 +809,9 @@ fn try_mine(args: &[String]) -> Result<(), String> {
     // database's ids do not apply.
     let registry = shard_plan.as_ref().map_or(seq.registry(), |p| p.registry());
     let selection = rank_patterns(&result, opt.sort, opt.top);
-
-    let exported = match &opt.output {
-        Some(path) => Some((
-            path.as_str(),
-            export_result(&result, &selection, registry, path, opt.sort.is_some())?,
-        )),
-        None => None,
-    };
+    // The export runs *after* the summary so the straight-replay case can
+    // consume the result and move every pattern into the writer sink.
+    let full_export = opt.sort.is_none() && selection.len() == result.len();
 
     if opt.json {
         let mut payload = serde_json::json!({
@@ -837,8 +844,8 @@ fn try_mine(args: &[String]) -> Result<(), String> {
                     shard_reports_json(&shard_reports),
                 ));
             }
-            if let Some((path, _)) = &exported {
-                entries.push(("output".to_string(), serde_json::Value::from(*path)));
+            if let Some(path) = &opt.output {
+                entries.push(("output".to_string(), serde_json::Value::from(path.as_str())));
             }
         }
         print_json(&payload, false)?;
@@ -880,7 +887,18 @@ fn try_mine(args: &[String]) -> Result<(), String> {
             )
             .map_err(|e| format!("stdout: {e}"))?;
         }
-        if let Some((path, written)) = exported {
+    }
+
+    if let Some(path) = &opt.output {
+        let written = if full_export {
+            drop(selection);
+            export_whole_result(result, registry, path)?
+        } else {
+            export_selection(&selection, registry, path)?
+        };
+        if !opt.json {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
             writeln!(out, "wrote {written} patterns to {path}")
                 .map_err(|e| format!("stdout: {e}"))?;
         }

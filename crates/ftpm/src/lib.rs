@@ -55,9 +55,10 @@ pub use ftpm_core::{
     mine_exact_parallel_with_sink, mine_exact_with_sink, mine_reference,
     mine_reference_filtered, mine_sharded, mine_sharded_exchange, ApproxOutcome, CollectSink,
     CorrelationFilter, CountingSink, CsvSink, DatabaseIndex, ExploreStats, Explorer,
-    FrequentPattern, HierarchicalPatternGraph, JsonlSink, Level, MergeSink, MinerConfig,
-    MiningResult, MiningStats, Node, Pattern, PatternSink, PatternSort, PruningConfig,
-    Schedule, Shard, ShardMerge, ShardPlan, ShardPlanner, ShardReport, ShardedMining,
+    DeltaKey, EventsRev, FrequentPattern, HierarchicalPatternGraph, JsonlSink, Level,
+    MergeSink, MinerConfig, MiningResult, MiningStats, Node, Pattern, PatternId, PatternPool,
+    PatternSink, PatternSort, PoolView, PruningConfig, Schedule, Shard, ShardMerge, ShardPlan,
+    ShardPlanner, ShardReport, ShardedMining,
 };
 pub use ftpm_datagen::{
     dataport_like, generate_city, generate_energy, nist_like, random_sequence_database,

@@ -103,7 +103,8 @@ fn overlap_preserves_all_short_patterns_generically() {
         .with_relation(RelationConfig::new(0, 1, 40));
     let base = mine_exact(&unsplit, &cfg);
     assert!(!base.is_empty(), "the unsplit data must contain patterns");
-    let better = mine_exact(&overlapped, &cfg).pattern_keys();
+    let with_overlap = mine_exact(&overlapped, &cfg);
+    let better = with_overlap.pattern_keys();
     for p in &base.patterns {
         assert!(
             better.contains(&p.pattern),
